@@ -1,0 +1,81 @@
+// Command benchgen materializes the synthetic benchmark circuits as
+// cpr-design files, so experiments can be rerun on byte-identical inputs
+// and instances can be shared or edited.
+//
+// Usage:
+//
+//	benchgen -out bench/                   # all six Table 2 circuits
+//	benchgen -out bench/ -circuits ecc,div # a subset
+//	benchgen -out bench/ -sweep 100,400    # Figure 6 sweep instances
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"cpr/internal/design"
+	"cpr/internal/designio"
+	"cpr/internal/synth"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", ".", "output directory")
+		circuits = flag.String("circuits", "ecc,efc,ctl,alu,div,top", "comma-separated circuit names")
+		sweep    = flag.String("sweep", "", "comma-separated pin counts for Figure 6 sweep instances")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if *sweep != "" {
+		for _, field := range strings.Split(*sweep, ",") {
+			pins, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil {
+				fatal(fmt.Errorf("bad -sweep entry %q", field))
+			}
+			spec := synth.SweepSpec(pins, 77)
+			d, err := synth.Generate(spec)
+			if err != nil {
+				fatal(err)
+			}
+			write(*out, d)
+		}
+		return
+	}
+	for _, name := range strings.Split(*circuits, ",") {
+		spec, err := synth.SpecByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		d, err := synth.Generate(spec)
+		if err != nil {
+			fatal(err)
+		}
+		write(*out, d)
+	}
+}
+
+func write(dir string, d *design.Design) {
+	path := filepath.Join(dir, d.Name+".cprd")
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := designio.Write(f, d); err != nil {
+		fatal(err)
+	}
+	st := d.ComputeStats()
+	fmt.Printf("%-24s %6d nets %6d pins %4d panels\n", path, st.Nets, st.Pins, st.Panels)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

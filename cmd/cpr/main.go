@@ -1,0 +1,144 @@
+// Command cpr routes a benchmark circuit with the concurrent pin access
+// router or one of the paper's two baselines and prints a Table 2 style
+// metrics row.
+//
+// Usage:
+//
+//	cpr -circuit ecc -mode cpr
+//	cpr -circuit div -mode sequential
+//	cpr -nets 500 -width 200 -height 100 -seed 7 -mode nopinopt
+//	cpr -circuit ecc -mode cpr -optimizer ilp -ilp-timeout 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cpr/internal/core"
+	"cpr/internal/design"
+	"cpr/internal/designio"
+	"cpr/internal/grid"
+	"cpr/internal/ilp"
+	"cpr/internal/metrics"
+	"cpr/internal/render"
+	"cpr/internal/synth"
+)
+
+func main() {
+	var (
+		circuit    = flag.String("circuit", "", "Table 2 circuit name (ecc efc ctl alu div top); empty uses -nets/-width/-height")
+		nets       = flag.Int("nets", 200, "net count for a custom synthetic circuit")
+		width      = flag.Int("width", 200, "grid width for a custom circuit")
+		height     = flag.Int("height", 100, "grid height for a custom circuit")
+		seed       = flag.Int64("seed", 1, "generator seed for a custom circuit")
+		mode       = flag.String("mode", "cpr", "routing flow: cpr, nopinopt, sequential")
+		optimizer  = flag.String("optimizer", "lr", "pin access optimizer for cpr mode: lr, ilp")
+		ilpTimeout = flag.Duration("ilp-timeout", 30*time.Second, "per-panel ILP time limit")
+		verbose    = flag.Bool("v", false, "print pin optimization and stage details")
+		loadPath   = flag.String("load", "", "load the design from a cpr-design file instead of generating")
+		savePath   = flag.String("save", "", "write the design to a cpr-design file before routing")
+		svgPath    = flag.String("svg", "", "write the routed layout as SVG")
+		asciiPanel = flag.Int("ascii", -1, "print the given panel's M2 occupancy as ASCII")
+	)
+	flag.Parse()
+
+	var d *design.Design
+	var err error
+	if *loadPath != "" {
+		f, ferr := os.Open(*loadPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		d, err = designio.Read(f)
+		f.Close()
+	} else {
+		d, err = buildDesign(*circuit, *nets, *width, *height, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *savePath != "" {
+		f, ferr := os.Create(*savePath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if err := designio.Write(f, d); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	opts := core.Options{ILP: ilp.Config{TimeLimit: *ilpTimeout}}
+	switch *mode {
+	case "cpr":
+		opts.Mode = core.ModeCPR
+	case "nopinopt":
+		opts.Mode = core.ModeNoPinOpt
+	case "sequential":
+		opts.Mode = core.ModeSequential
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (want cpr, nopinopt, sequential)", *mode))
+	}
+	switch *optimizer {
+	case "lr":
+		opts.Optimizer = core.OptLR
+	case "ilp":
+		opts.Optimizer = core.OptILP
+	default:
+		fatal(fmt.Errorf("unknown -optimizer %q (want lr, ilp)", *optimizer))
+	}
+
+	res, err := core.Run(d, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *svgPath != "" {
+		f, ferr := os.Create(*svgPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if err := render.SVG(f, d, grid.New(d), res.Router, nil, render.SVGOptions{}); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	if *asciiPanel >= 0 {
+		if err := render.ASCII(os.Stdout, d, grid.New(d), res.Router, *asciiPanel); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Println(metrics.Header())
+	fmt.Println(res.Metrics.Row())
+	if *verbose {
+		fmt.Printf("initial congested grids: %d\n", res.Metrics.InitialCongested)
+		fmt.Printf("negotiation iterations:  %d\n", res.Metrics.NegotiationIters)
+		fmt.Printf("congestion unrouted:     %d\n", res.Router.CongestionUnrouted)
+		fmt.Printf("DRC unrouted:            %d\n", res.Router.DRCUnrouted)
+		if res.PinOpt != nil {
+			fmt.Printf("pin opt: %d pins, %d intervals, %d conflict sets, objective %.1f in %v\n",
+				res.PinOpt.TotalPins, res.PinOpt.TotalIntervals,
+				res.PinOpt.TotalConflicts, res.PinOpt.Objective, res.PinOpt.Elapsed)
+		}
+	}
+}
+
+func buildDesign(circuit string, nets, width, height int, seed int64) (*design.Design, error) {
+	if circuit != "" {
+		spec, err := synth.SpecByName(circuit)
+		if err != nil {
+			return nil, err
+		}
+		return synth.Generate(spec)
+	}
+	return synth.Generate(synth.Spec{
+		Name: "custom", Nets: nets, Width: width, Height: height, Seed: seed,
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpr:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (DAC'17 §5) on the synthetic benchmark substrate.
+//
+// Usage:
+//
+//	experiments -table 2                    # full Table 2 (all circuits)
+//	experiments -fig 6a                     # LR vs ILP runtime sweep
+//	experiments -fig 6b                     # LR vs ILP objective sweep
+//	experiments -fig 7a -circuits ecc,efc   # LR/ILP routing ratios
+//	experiments -fig 7b                     # initial congested grids
+//	experiments -ablation alpha             # design choice ablations
+//	experiments -all -quick                 # everything, scaled down
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cpr/internal/experiments"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "", "regenerate a table: 2")
+		fig      = flag.String("fig", "", "regenerate a figure: 6a, 6b, 7a, 7b")
+		ablation = flag.String("ablation", "", "run an ablation: profit, tiebreak, alpha, refinement, subgradient, cutmask")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "scaled-down effort (seconds instead of minutes)")
+		circuits = flag.String("circuits", "", "comma-separated circuit subset (default all six)")
+		ilpLimit = flag.Duration("ilp-timeout", 0, "override ILP time limit")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, ILPTimeLimit: *ilpLimit}
+	if *circuits != "" {
+		cfg.Circuits = strings.Split(*circuits, ",")
+	}
+
+	ran := false
+	run := func(name string, fn func() error) {
+		ran = true
+		fmt.Printf("=== %s ===\n", name)
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *table == "eval" || *fig == "eval" {
+		run("Full evaluation (Table 2 + Figure 7(b) from shared runs)", func() error {
+			return experiments.Evaluation(os.Stdout, cfg)
+		})
+	}
+	wantTable2 := *all || *table == "2"
+	wantFig6 := *all || *fig == "6a" || *fig == "6b" || *fig == "6"
+	wantFig7a := *all || *fig == "7a"
+	wantFig7b := *all || *fig == "7b"
+
+	if wantFig6 {
+		run("Figure 6(a)+(b): LR vs ILP scalability", func() error {
+			_, err := experiments.Fig6(os.Stdout, cfg)
+			return err
+		})
+	}
+	if wantFig7a {
+		run("Figure 7(a): LR/ILP routing quality ratios", func() error {
+			_, err := experiments.Fig7a(os.Stdout, cfg)
+			return err
+		})
+	}
+	if wantFig7b {
+		run("Figure 7(b): initial congested routing grids", func() error {
+			_, err := experiments.Fig7b(os.Stdout, cfg)
+			return err
+		})
+	}
+	if wantTable2 {
+		run("Table 2: routing comparison", func() error {
+			return experiments.Table2(os.Stdout, cfg)
+		})
+	}
+
+	ablations := map[string]func() error{
+		"profit":      func() error { return experiments.AblationProfit(os.Stdout, cfg) },
+		"tiebreak":    func() error { return experiments.AblationTieBreak(os.Stdout, cfg) },
+		"alpha":       func() error { return experiments.AblationAlpha(os.Stdout, cfg) },
+		"refinement":  func() error { return experiments.AblationRefinement(os.Stdout, cfg) },
+		"subgradient": func() error { return experiments.AblationSubgradient(os.Stdout, cfg) },
+		"cutmask":     func() error { return experiments.CutMaskComparison(os.Stdout, cfg) },
+	}
+	if *all {
+		for _, name := range []string{"profit", "tiebreak", "alpha", "refinement", "subgradient", "cutmask"} {
+			run("Ablation: "+name, ablations[name])
+		}
+	} else if *ablation != "" {
+		fn, ok := ablations[*ablation]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown ablation %q\n", *ablation)
+			os.Exit(1)
+		}
+		run("Ablation: "+*ablation, fn)
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

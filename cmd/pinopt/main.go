@@ -1,0 +1,119 @@
+// Command pinopt runs concurrent pin access optimization only (no
+// routing) and reports assignment quality for the LR and/or ILP solvers —
+// the standalone view of the paper's §3.
+//
+// Usage:
+//
+//	pinopt -pins 800                 # LR on a synthetic sweep instance
+//	pinopt -pins 200 -ilp            # LR and exact ILP side by side
+//	pinopt -circuit ecc              # per-panel LR over a full circuit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cpr/internal/assign"
+	"cpr/internal/core"
+	"cpr/internal/design"
+	"cpr/internal/ilp"
+	"cpr/internal/lagrange"
+	"cpr/internal/pinaccess"
+	"cpr/internal/synth"
+)
+
+func main() {
+	var (
+		circuit    = flag.String("circuit", "", "Table 2 circuit (per-panel optimization); empty uses -pins")
+		pins       = flag.Int("pins", 400, "target pin count for a single whole-design instance")
+		seed       = flag.Int64("seed", 77, "generator seed")
+		runILP     = flag.Bool("ilp", false, "also solve exactly with branch-and-bound ILP")
+		ilpTimeout = flag.Duration("ilp-timeout", 60*time.Second, "ILP time limit")
+		ub         = flag.Int("ub", 200, "LR iteration upper bound")
+		alpha      = flag.Float64("alpha", 0.95, "LR subgradient step exponent")
+	)
+	flag.Parse()
+
+	if *circuit != "" {
+		runCircuit(*circuit)
+		return
+	}
+
+	d, err := synth.Generate(synth.SweepSpec(*pins, *seed))
+	if err != nil {
+		fatal(err)
+	}
+	model, err := buildModel(d)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: %d pins, %d intervals, %d conflict sets\n",
+		model.NumPins(), model.NumIntervals(), len(model.Conflicts.Sets))
+
+	t0 := time.Now()
+	lr := lagrange.Solve(model, lagrange.Config{MaxIterations: *ub, Alpha: *alpha})
+	lrTime := time.Since(t0)
+	st := lr.Solution.Lengths(model.Set)
+	fmt.Printf("LR : objective %.1f, %d iterations, converged=%v, cpu %v\n",
+		lr.Solution.Objective, lr.Iterations, lr.Converged, lrTime)
+	fmt.Printf("     lengths: total %d, mean %.2f, stddev %.2f\n", st.Total, st.Mean, st.StdDev)
+
+	if *runILP {
+		t0 = time.Now()
+		sol, res, err := model.SolveILP(ilp.Config{TimeLimit: *ilpTimeout})
+		ilpTime := time.Since(t0)
+		if err != nil {
+			fmt.Printf("ILP: failed (%v) after %v\n", err, ilpTime)
+			return
+		}
+		fmt.Printf("ILP: objective %.1f (%s, %d nodes), cpu %v\n",
+			sol.Objective, res.Status, res.Nodes, ilpTime)
+		if sol.Objective > 0 {
+			fmt.Printf("     LR/ILP objective ratio: %.4f\n", lr.Solution.Objective/sol.Objective)
+		}
+	}
+}
+
+func runCircuit(name string) {
+	spec, err := synth.SpecByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := synth.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+	rep, _, err := core.OptimizePinAccess(d, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("circuit %s: %d panels, %d pins, %d intervals, %d conflict sets\n",
+		name, len(rep.Panels), rep.TotalPins, rep.TotalIntervals, rep.TotalConflicts)
+	fmt.Printf("objective %.1f in %v\n", rep.Objective, rep.Elapsed)
+	converged := 0
+	for _, p := range rep.Panels {
+		if p.Converged {
+			converged++
+		}
+	}
+	fmt.Printf("panels converged without refinement: %d/%d\n", converged, len(rep.Panels))
+}
+
+func buildModel(d *design.Design) (*assign.Model, error) {
+	pins := make([]int, len(d.Pins))
+	for i := range pins {
+		pins[i] = i
+	}
+	set, err := pinaccess.Generate(d, d.BuildTrackIndex(), pins)
+	if err != nil {
+		return nil, err
+	}
+	return assign.Build(set, assign.SqrtProfit), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pinopt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package cpr_test
+
+import (
+	"fmt"
+
+	"cpr"
+)
+
+// ExampleRun routes a tiny hand-built design with the CPR flow.
+func ExampleRun() {
+	d := cpr.NewDesign("tiny", 30, 10, cpr.DefaultTechnology())
+	n := d.AddNet("n0")
+	d.AddPin("p0", n, cpr.Rect{X0: 3, Y0: 4, X1: 3, Y1: 4})
+	d.AddPin("p1", n, cpr.Rect{X0: 24, Y0: 4, X1: 24, Y1: 4})
+	if err := d.Validate(); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	res, err := cpr.Run(d, cpr.Options{Mode: cpr.ModeCPR})
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Printf("routed %d/%d nets with %d vias\n",
+		res.Metrics.RoutedNets, res.Metrics.TotalNets, res.Metrics.Vias)
+	// Output:
+	// routed 1/1 nets with 2 vias
+}
+
+// ExampleBuildAssignmentModel solves one panel's weighted interval
+// assignment with both solvers.
+func ExampleBuildAssignmentModel() {
+	d := cpr.NewDesign("panel", 24, 10, cpr.DefaultTechnology())
+	a := d.AddNet("a")
+	b := d.AddNet("b")
+	d.AddPin("a1", a, cpr.Rect{X0: 2, Y0: 3, X1: 2, Y1: 3})
+	d.AddPin("a2", a, cpr.Rect{X0: 20, Y0: 3, X1: 20, Y1: 3})
+	d.AddPin("b1", b, cpr.Rect{X0: 10, Y0: 3, X1: 10, Y1: 3})
+	d.AddPin("b2", b, cpr.Rect{X0: 10, Y0: 6, X1: 10, Y1: 6})
+	if err := d.Validate(); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	model, err := cpr.BuildAssignmentModel(d, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ilpSol, err := cpr.SolveILP(model, cpr.ILPConfig{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	lr := cpr.SolveLR(model, cpr.LRConfig{})
+	fmt.Printf("pins: %d, candidate intervals: %d\n", model.NumPins(), model.NumIntervals())
+	fmt.Printf("LR within %.0f%% of the ILP optimum\n",
+		100*lr.Solution.Objective/ilpSol.Objective)
+	// Output:
+	// pins: 4, candidate intervals: 7
+	// LR within 100% of the ILP optimum
+}
+
+// ExampleGenerateCircuit shows the Table 2 benchmark registry.
+func ExampleGenerateCircuit() {
+	spec, err := cpr.CircuitByName("ecc")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	d, err := cpr.GenerateCircuit(spec)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %d nets on a %dx%d grid\n", d.Name, len(d.Nets), d.Width, d.Height)
+	// Output:
+	// ecc: 1671 nets on a 420x420 grid
+}

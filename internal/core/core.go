@@ -1,0 +1,272 @@
+// Package core wires the full concurrent pin access router (CPR) pipeline
+// together (paper §4): panel-by-panel pin access interval generation,
+// conflict detection, weighted interval assignment (exact ILP or scalable
+// Lagrangian relaxation), interval seeding as partial routes, and
+// negotiation-congestion routing with SADP line-end rules.
+//
+// It also runs the paper's two baselines on the same substrate: the
+// negotiation router without pin access optimization ([21]) and the
+// sequential pin-access-planning router ([12]).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cpr/internal/assign"
+	"cpr/internal/design"
+	"cpr/internal/grid"
+	"cpr/internal/ilp"
+	"cpr/internal/lagrange"
+	"cpr/internal/metrics"
+	"cpr/internal/pinaccess"
+	"cpr/internal/router"
+)
+
+// Mode selects the routing flow.
+type Mode int
+
+const (
+	// ModeCPR is the paper's contribution: concurrent pin access
+	// optimization followed by negotiation routing.
+	ModeCPR Mode = iota
+	// ModeNoPinOpt is the [21] baseline: negotiation routing with other
+	// nets' pins as blockages but no interval optimization.
+	ModeNoPinOpt
+	// ModeSequential is the [12] baseline: sequential pin access planning
+	// and routing with net deferring.
+	ModeSequential
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCPR:
+		return "cpr"
+	case ModeNoPinOpt:
+		return "no-pinopt"
+	default:
+		return "sequential"
+	}
+}
+
+// Optimizer selects the interval assignment solver for ModeCPR.
+type Optimizer int
+
+const (
+	// OptLR is the scalable Lagrangian relaxation algorithm (default).
+	OptLR Optimizer = iota
+	// OptILP is the exact branch-and-bound ILP.
+	OptILP
+)
+
+func (o Optimizer) String() string {
+	if o == OptILP {
+		return "ilp"
+	}
+	return "lr"
+}
+
+// Options configures a run. Zero values give the paper's defaults
+// (ModeCPR with LR optimization).
+type Options struct {
+	Mode       Mode
+	Optimizer  Optimizer
+	LR         lagrange.Config
+	ILP        ilp.Config
+	Router     router.Config
+	Sequential router.SequentialConfig
+	// Profit is the interval profit function (default assign.SqrtProfit).
+	Profit assign.ProfitFn
+	// Parallelism is the number of panels optimized concurrently
+	// (0 or 1 = sequential). Results are deterministic regardless: the
+	// paper notes the panel decomposition "can also handle multiple
+	// panels simultaneously", and panels are independent subproblems.
+	Parallelism int
+}
+
+// PanelReport records pin access optimization results for one panel.
+type PanelReport struct {
+	Panel      int
+	Pins       int
+	Intervals  int
+	Conflicts  int
+	Objective  float64
+	Violations int
+	Converged  bool
+}
+
+// PinOptReport aggregates pin access optimization over all panels.
+type PinOptReport struct {
+	Panels         []PanelReport
+	TotalPins      int
+	TotalIntervals int
+	TotalConflicts int
+	Objective      float64
+	Elapsed        time.Duration
+}
+
+// RunResult is the complete outcome of a flow run.
+type RunResult struct {
+	Mode    Mode
+	PinOpt  *PinOptReport // nil for baseline modes
+	Router  *router.Result
+	Metrics metrics.Routing
+}
+
+// Run executes the selected flow on a validated design.
+func Run(d *design.Design, opts Options) (*RunResult, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if opts.Profit == nil {
+		opts.Profit = assign.SqrtProfit
+	}
+	g := grid.New(d)
+	r := router.New(d, g, opts.Router)
+	res := &RunResult{Mode: opts.Mode}
+
+	switch opts.Mode {
+	case ModeCPR:
+		report, seeds, err := OptimizePinAccess(d, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.PinOpt = report
+		for _, s := range seeds {
+			r.SeedAssignment(s.Set, s.Solution)
+		}
+		res.Router = r.Run()
+	case ModeNoPinOpt:
+		res.Router = r.Run()
+	case ModeSequential:
+		res.Router = r.RunSequential(opts.Sequential)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", opts.Mode)
+	}
+
+	res.Metrics = metrics.FromResult(d, res.Router)
+	if res.PinOpt != nil {
+		res.Metrics.CPUSeconds += res.PinOpt.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// PanelSeed couples one panel's interval set with its assignment for
+// router seeding.
+type PanelSeed struct {
+	Set      *pinaccess.Set
+	Solution *assign.Solution
+}
+
+// OptimizePinAccess runs concurrent pin access optimization on every
+// panel of the design with the configured optimizer and returns the
+// per-panel reports plus the seeds for the router. Panels are independent
+// subproblems; with opts.Parallelism > 1 they are solved concurrently
+// with byte-identical results.
+func OptimizePinAccess(d *design.Design, opts Options) (*PinOptReport, []PanelSeed, error) {
+	if opts.Profit == nil {
+		opts.Profit = assign.SqrtProfit
+	}
+	start := time.Now()
+	idx := d.BuildTrackIndex()
+
+	var panels []int
+	for panel := 0; panel < d.NumPanels(); panel++ {
+		if len(d.PinsInPanel(panel)) > 0 {
+			panels = append(panels, panel)
+		}
+	}
+
+	type panelResult struct {
+		report PanelReport
+		seed   PanelSeed
+		err    error
+	}
+	results := make([]panelResult, len(panels))
+	solve := func(slot, panel int) {
+		pins := d.PinsInPanel(panel)
+		set, err := pinaccess.Generate(d, idx, pins)
+		if err != nil {
+			results[slot].err = fmt.Errorf("core: panel %d: %w", panel, err)
+			return
+		}
+		model := assign.Build(set, opts.Profit)
+		sol, converged, err := solvePanel(model, opts)
+		if err != nil {
+			results[slot].err = fmt.Errorf("core: panel %d: %w", panel, err)
+			return
+		}
+		if err := model.CheckLegal(sol); err != nil {
+			results[slot].err = fmt.Errorf("core: panel %d produced illegal assignment: %w", panel, err)
+			return
+		}
+		results[slot] = panelResult{
+			report: PanelReport{
+				Panel:      panel,
+				Pins:       len(pins),
+				Intervals:  model.NumIntervals(),
+				Conflicts:  len(model.Conflicts.Sets),
+				Objective:  sol.Objective,
+				Violations: sol.Violations,
+				Converged:  converged,
+			},
+			seed: PanelSeed{Set: set, Solution: sol},
+		}
+	}
+
+	workers := opts.Parallelism
+	if workers <= 1 {
+		for slot, panel := range panels {
+			solve(slot, panel)
+		}
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for slot := range jobs {
+					solve(slot, panels[slot])
+				}
+			}()
+		}
+		for slot := range panels {
+			jobs <- slot
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	report := &PinOptReport{}
+	var seeds []PanelSeed
+	for _, pr := range results {
+		if pr.err != nil {
+			return nil, nil, pr.err
+		}
+		report.Panels = append(report.Panels, pr.report)
+		report.TotalPins += pr.report.Pins
+		report.TotalIntervals += pr.report.Intervals
+		report.TotalConflicts += pr.report.Conflicts
+		report.Objective += pr.report.Objective
+		seeds = append(seeds, pr.seed)
+	}
+	report.Elapsed = time.Since(start)
+	return report, seeds, nil
+}
+
+// solvePanel dispatches to the configured optimizer. An ILP run that hits
+// its limits falls back to the LR solution, mirroring how a production
+// flow would degrade.
+func solvePanel(model *assign.Model, opts Options) (*assign.Solution, bool, error) {
+	if opts.Optimizer == OptILP {
+		sol, res, err := model.SolveILP(opts.ILP)
+		if err == nil {
+			return sol, res.Status == ilp.Optimal, nil
+		}
+		// Fall through to LR on solver limits.
+	}
+	res := lagrange.Solve(model, opts.LR)
+	return res.Solution, res.Converged, nil
+}

@@ -1,0 +1,240 @@
+// Package cutmask analyzes the SADP cut mask implied by a routing result.
+//
+// Under self-aligned double patterning, every unidirectional metal
+// line-end must be produced by a cut (trim) shape. Cut shapes are
+// printable only if they keep a minimum distance from other cuts on the
+// same or adjacent tracks — unless they align into a single larger cut,
+// which is the standard complexity reduction (cf. the cut mask
+// optimization literature the paper builds on: its references [10] and
+// [20]).
+//
+// The paper's §4 notes CPR "is extendable to technology-dependent
+// manufacturing constraints, e.g. SAMP with unidirectional routing"; this
+// package provides that extension as a post-routing analysis: it extracts
+// every line-end cut, merges vertically aligned cuts, and counts residual
+// cut conflicts. Routers can be compared on cut mask friendliness the
+// same way the paper compares them on vias and wirelength.
+package cutmask
+
+import (
+	"sort"
+
+	"cpr/internal/design"
+	"cpr/internal/geom"
+	"cpr/internal/grid"
+	"cpr/internal/router"
+	"cpr/internal/tech"
+)
+
+// Params tunes the cut mask rules.
+type Params struct {
+	// CutSpacing is the minimum free distance (grid cells) between two
+	// distinct cuts on the same or adjacent tracks (default 2).
+	CutSpacing int
+	// MergeTolerance is the maximum x offset at which cuts on adjacent
+	// tracks still merge into one cut shape (default 0: exact alignment).
+	MergeTolerance int
+}
+
+func (p Params) withDefaults() Params {
+	if p.CutSpacing == 0 {
+		p.CutSpacing = 2
+	}
+	return p
+}
+
+// Cut is one line-end cut location: the first free cell beyond a metal
+// strip end on its track.
+type Cut struct {
+	Layer int
+	// Track is the y row for M2 cuts, the x column for M3 cuts.
+	Track int
+	// Pos is the cell position of the cut along the track direction.
+	Pos int
+	// NetID is the net whose line-end needs this cut.
+	NetID int
+}
+
+// Shape is a merged cut mask shape covering one or more aligned cuts.
+type Shape struct {
+	Layer int
+	// Pos is the along-track position shared by the merged cuts.
+	Pos int
+	// TrackLo and TrackHi bound the merged track range.
+	TrackLo, TrackHi int
+	// Cuts counts the line-end cuts this shape serves.
+	Cuts int
+}
+
+// Report is the cut mask analysis of one routing result.
+type Report struct {
+	// LineEnds counts all metal strip ends (two per strip, minus grid
+	// boundary ends, which need no cut).
+	LineEnds int
+	// Shapes is the merged cut mask, deterministic order.
+	Shapes []Shape
+	// Conflicts counts pairs of distinct shapes on the same or adjacent
+	// tracks closer than CutSpacing along the track direction.
+	Conflicts int
+}
+
+// MaskComplexity is the number of distinct cut shapes after merging —
+// the metric cut mask optimization minimizes.
+func (r *Report) MaskComplexity() int { return len(r.Shapes) }
+
+// Analyze extracts and merges the cut mask for all routed nets.
+func Analyze(d *design.Design, g *grid.Graph, res *router.Result, params Params) *Report {
+	params = params.withDefaults()
+	cuts := extractCuts(d, g, res)
+	shapes := mergeCuts(cuts, params)
+	rep := &Report{LineEnds: len(cuts), Shapes: shapes}
+	rep.Conflicts = countConflicts(shapes, params)
+	return rep
+}
+
+// extractCuts walks every routed net's strips and emits a cut at each
+// strip end that is inside the grid (ends flush with the boundary need no
+// cut).
+func extractCuts(d *design.Design, g *grid.Graph, res *router.Result) []Cut {
+	var cuts []Cut
+	for netID, nr := range res.Routes {
+		if nr == nil || !nr.Routed {
+			continue
+		}
+		m2 := make(map[int][]int)
+		m3 := make(map[int][]int)
+		for _, id := range nr.Nodes {
+			x, y, z := g.Coords(id)
+			switch z {
+			case tech.M2:
+				m2[y] = append(m2[y], x)
+			case tech.M3:
+				m3[x] = append(m3[x], y)
+			}
+		}
+		ext := d.Tech.LineEndExtension
+		emit := func(layer, track int, spans []geom.Interval, limit int) {
+			for _, s := range spans {
+				if lo := s.Lo - ext - 1; lo >= 0 {
+					cuts = append(cuts, Cut{Layer: layer, Track: track, Pos: lo, NetID: netID})
+				}
+				if hi := s.Hi + ext + 1; hi <= limit-1 {
+					cuts = append(cuts, Cut{Layer: layer, Track: track, Pos: hi, NetID: netID})
+				}
+			}
+		}
+		for track, cells := range m2 {
+			emit(tech.M2, track, cellRuns(cells), d.Width)
+		}
+		for track, cells := range m3 {
+			emit(tech.M3, track, cellRuns(cells), d.Height)
+		}
+	}
+	sort.Slice(cuts, func(a, b int) bool {
+		ca, cb := cuts[a], cuts[b]
+		if ca.Layer != cb.Layer {
+			return ca.Layer < cb.Layer
+		}
+		if ca.Pos != cb.Pos {
+			return ca.Pos < cb.Pos
+		}
+		if ca.Track != cb.Track {
+			return ca.Track < cb.Track
+		}
+		return ca.NetID < cb.NetID
+	})
+	return cuts
+}
+
+// mergeCuts greedily merges cuts on consecutive tracks whose positions
+// match within MergeTolerance into single shapes.
+func mergeCuts(cuts []Cut, params Params) []Shape {
+	var shapes []Shape
+	// Cuts arrive sorted by (layer, pos, track); scan groups with equal
+	// layer and pos (within tolerance = 0 for exact merging; tolerance>0
+	// approximated by bucketing positions).
+	i := 0
+	for i < len(cuts) {
+		j := i
+		for j < len(cuts) &&
+			cuts[j].Layer == cuts[i].Layer &&
+			cuts[j].Pos-cuts[i].Pos <= params.MergeTolerance {
+			j++
+		}
+		group := append([]Cut(nil), cuts[i:j]...)
+		// Dedupe identical (track) entries (several strips can demand
+		// the same cut), then merge runs of consecutive tracks.
+		sort.Slice(group, func(a, b int) bool { return group[a].Track < group[b].Track })
+		var uniq []Cut
+		for _, c := range group {
+			if len(uniq) == 0 || c.Track != uniq[len(uniq)-1].Track {
+				uniq = append(uniq, c)
+			}
+		}
+		group = uniq
+		k := 0
+		for k < len(group) {
+			m := k
+			for m+1 < len(group) && group[m+1].Track <= group[m].Track+1 {
+				m++
+			}
+			shapes = append(shapes, Shape{
+				Layer:   group[k].Layer,
+				Pos:     group[k].Pos,
+				TrackLo: group[k].Track,
+				TrackHi: group[m].Track,
+				Cuts:    m - k + 1,
+			})
+			k = m + 1
+		}
+		i = j
+	}
+	return shapes
+}
+
+// countConflicts counts shape pairs on overlapping or adjacent track
+// ranges whose positions are closer than CutSpacing.
+func countConflicts(shapes []Shape, params Params) int {
+	conflicts := 0
+	for a := 0; a < len(shapes); a++ {
+		for b := a + 1; b < len(shapes); b++ {
+			sa, sb := shapes[a], shapes[b]
+			if sa.Layer != sb.Layer {
+				continue
+			}
+			dist := sb.Pos - sa.Pos
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist == 0 || dist >= params.CutSpacing {
+				continue
+			}
+			// Track adjacency or overlap.
+			if sb.TrackLo <= sa.TrackHi+1 && sa.TrackLo <= sb.TrackHi+1 {
+				conflicts++
+			}
+		}
+	}
+	return conflicts
+}
+
+func cellRuns(cells []int) []geom.Interval {
+	if len(cells) == 0 {
+		return nil
+	}
+	sort.Ints(cells)
+	var out []geom.Interval
+	cur := geom.Interval{Lo: cells[0], Hi: cells[0]}
+	for _, c := range cells[1:] {
+		switch {
+		case c == cur.Hi || c == cur.Hi+1:
+			if c > cur.Hi {
+				cur.Hi = c
+			}
+		default:
+			out = append(out, cur)
+			cur = geom.Interval{Lo: c, Hi: c}
+		}
+	}
+	return append(out, cur)
+}

@@ -1,0 +1,146 @@
+package cutmask
+
+import (
+	"testing"
+
+	"cpr/internal/design"
+	"cpr/internal/geom"
+	"cpr/internal/grid"
+	"cpr/internal/router"
+	"cpr/internal/tech"
+)
+
+func routed(t *testing.T, d *design.Design) (*grid.Graph, *router.Result) {
+	t.Helper()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := grid.New(d)
+	res := router.New(d, g, router.Config{}).Run()
+	return g, res
+}
+
+func TestSingleStraightNet(t *testing.T) {
+	d := design.New("one", 30, 10, tech.Default())
+	n := d.AddNet("n")
+	d.AddPin("p0", n, geom.MakeRect(5, 4, 5, 4))
+	d.AddPin("p1", n, geom.MakeRect(20, 4, 20, 4))
+	g, res := routed(t, d)
+	if res.RoutedNets != 1 {
+		t.Fatal("not routed")
+	}
+	rep := Analyze(d, g, res, Params{})
+	// One M2 strip fully inside the grid: two line-end cuts.
+	if rep.LineEnds != 2 {
+		t.Errorf("LineEnds = %d, want 2", rep.LineEnds)
+	}
+	if rep.MaskComplexity() != 2 {
+		t.Errorf("shapes = %d, want 2", rep.MaskComplexity())
+	}
+	if rep.Conflicts != 0 {
+		t.Errorf("conflicts = %d, want 0", rep.Conflicts)
+	}
+}
+
+func TestBoundaryEndsNeedNoCut(t *testing.T) {
+	// A strip that would extend past the boundary loses that cut.
+	d := design.New("edge", 12, 10, tech.Default())
+	n := d.AddNet("n")
+	d.AddPin("p0", n, geom.MakeRect(0, 4, 0, 4))
+	d.AddPin("p1", n, geom.MakeRect(11, 4, 11, 4))
+	g, res := routed(t, d)
+	if res.RoutedNets != 1 {
+		t.Skip("boundary net unrouted")
+	}
+	rep := Analyze(d, g, res, Params{})
+	if rep.LineEnds != 0 {
+		t.Errorf("LineEnds = %d, want 0 for wall-to-wall strip", rep.LineEnds)
+	}
+}
+
+func TestAlignedCutsMerge(t *testing.T) {
+	// Two parallel nets on adjacent tracks with identical extents: their
+	// cuts align vertically and must merge into two shapes.
+	d := design.New("merge", 30, 10, tech.Default())
+	n0 := d.AddNet("a")
+	n1 := d.AddNet("b")
+	d.AddPin("a0", n0, geom.MakeRect(5, 3, 5, 3))
+	d.AddPin("a1", n0, geom.MakeRect(20, 3, 20, 3))
+	d.AddPin("b0", n1, geom.MakeRect(5, 4, 5, 4))
+	d.AddPin("b1", n1, geom.MakeRect(20, 4, 20, 4))
+	g, res := routed(t, d)
+	if res.RoutedNets != 2 {
+		t.Skip("fixture did not route both nets straight")
+	}
+	rep := Analyze(d, g, res, Params{})
+	if rep.LineEnds < 4 {
+		t.Fatalf("LineEnds = %d, want >= 4", rep.LineEnds)
+	}
+	if rep.MaskComplexity() >= rep.LineEnds {
+		t.Errorf("no merging happened: %d shapes for %d line-ends",
+			rep.MaskComplexity(), rep.LineEnds)
+	}
+	// Merged shapes must span both tracks.
+	merged := 0
+	for _, s := range rep.Shapes {
+		if s.TrackHi > s.TrackLo {
+			merged++
+			if s.Cuts < 2 {
+				t.Errorf("merged shape with %d cuts", s.Cuts)
+			}
+		}
+	}
+	if merged == 0 {
+		t.Error("expected at least one merged shape")
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	// Hand-built shapes: same track range, 1 apart with spacing 2.
+	shapes := []Shape{
+		{Layer: tech.M2, Pos: 10, TrackLo: 3, TrackHi: 3, Cuts: 1},
+		{Layer: tech.M2, Pos: 11, TrackLo: 4, TrackHi: 4, Cuts: 1},
+		{Layer: tech.M2, Pos: 20, TrackLo: 3, TrackHi: 3, Cuts: 1}, // far away
+		{Layer: tech.M3, Pos: 11, TrackLo: 3, TrackHi: 3, Cuts: 1}, // other layer
+	}
+	if got := countConflicts(shapes, Params{CutSpacing: 2}); got != 1 {
+		t.Errorf("conflicts = %d, want 1", got)
+	}
+	// Distant tracks never conflict.
+	shapes[1].TrackLo, shapes[1].TrackHi = 8, 8
+	if got := countConflicts(shapes, Params{CutSpacing: 2}); got != 0 {
+		t.Errorf("conflicts = %d, want 0", got)
+	}
+}
+
+func TestCutExtractionPositions(t *testing.T) {
+	d := design.New("pos", 30, 10, tech.Default())
+	n := d.AddNet("n")
+	d.AddPin("p0", n, geom.MakeRect(10, 4, 10, 4))
+	d.AddPin("p1", n, geom.MakeRect(15, 4, 15, 4))
+	g, res := routed(t, d)
+	rep := Analyze(d, g, res, Params{})
+	// Strip [10,15], extension 1 -> extended [9,16] -> cuts at 8 and 17.
+	want := map[int]bool{8: true, 17: true}
+	for _, s := range rep.Shapes {
+		if !want[s.Pos] {
+			t.Errorf("unexpected cut at %d", s.Pos)
+		}
+		delete(want, s.Pos)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing cuts at %v", want)
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	d := design.New("empty", 20, 10, tech.Default())
+	n := d.AddNet("n")
+	d.AddPin("p", n, geom.MakeRect(5, 5, 5, 5))
+	g, res := routed(t, d)
+	rep := Analyze(d, g, res, Params{})
+	// A single-pin net routes trivially with no metal: no cuts.
+	if rep.LineEnds != 0 || rep.MaskComplexity() != 0 || rep.Conflicts != 0 {
+		t.Errorf("report = %+v, want empty", rep)
+	}
+}

@@ -1,0 +1,203 @@
+// Package designio reads and writes designs in a simple line-oriented
+// text format, so benchmark instances can be saved, shared, and rerun
+// byte-identically.
+//
+// Format (one record per line, '#' starts a comment):
+//
+//	cpr-design 1
+//	design <name> <width> <height>
+//	tech <tracksPerPanel> <baseCost> <viaCost> <forbiddenViaCost> \
+//	     <lineEndExtension> <minLineLen> <lineEndSpacing>
+//	net <name>
+//	pin <name> <netIndex> <x0> <y0> <x1> <y1>
+//	blockage <layer> <x0> <y0> <x1> <y1>
+//
+// Records may appear in any order after the header, except that a pin's
+// net must already be declared. Fields are space-separated; names must
+// not contain whitespace.
+package designio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cpr/internal/design"
+	"cpr/internal/geom"
+	"cpr/internal/tech"
+)
+
+const magic = "cpr-design"
+const version = 1
+
+// Write serializes a design. The output is deterministic: nets in ID
+// order, then pins in ID order, then blockages in declaration order.
+func Write(w io.Writer, d *design.Design) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s %d\n", magic, version)
+	fmt.Fprintf(bw, "design %s %d %d\n", sanitize(d.Name), d.Width, d.Height)
+	t := d.Tech
+	fmt.Fprintf(bw, "tech %d %d %d %d %d %d %d\n",
+		t.TracksPerPanel, t.BaseCost, t.ViaCost, t.ForbiddenViaCost,
+		t.LineEndExtension, t.MinLineLen, t.LineEndSpacing)
+	for i := range d.Nets {
+		fmt.Fprintf(bw, "net %s\n", sanitize(d.Nets[i].Name))
+	}
+	for i := range d.Pins {
+		p := &d.Pins[i]
+		fmt.Fprintf(bw, "pin %s %d %d %d %d %d\n",
+			sanitize(p.Name), p.NetID, p.Shape.X0, p.Shape.Y0, p.Shape.X1, p.Shape.Y1)
+	}
+	for _, b := range d.Blockages {
+		fmt.Fprintf(bw, "blockage %d %d %d %d %d\n",
+			b.Layer, b.Shape.X0, b.Shape.Y0, b.Shape.X1, b.Shape.Y1)
+	}
+	return bw.Flush()
+}
+
+// sanitize replaces whitespace in names so the format stays line-parsable.
+func sanitize(name string) string {
+	if name == "" {
+		return "_"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+			return '_'
+		}
+		return r
+	}, name)
+}
+
+// Read parses a design. The result is validated before return.
+func Read(r io.Reader) (*design.Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	next := func() ([]string, error) {
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return strings.Fields(line), nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	errf := func(format string, args ...interface{}) error {
+		return fmt.Errorf("designio: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+
+	// Header.
+	fields, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("designio: missing header: %w", err)
+	}
+	if len(fields) != 2 || fields[0] != magic {
+		return nil, errf("bad magic %q", strings.Join(fields, " "))
+	}
+	if v, err := strconv.Atoi(fields[1]); err != nil || v != version {
+		return nil, errf("unsupported version %q", fields[1])
+	}
+
+	var d *design.Design
+	t := tech.Default()
+	for {
+		fields, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch fields[0] {
+		case "design":
+			if len(fields) != 4 {
+				return nil, errf("design record wants 3 fields, got %d", len(fields)-1)
+			}
+			w, err1 := strconv.Atoi(fields[2])
+			h, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil {
+				return nil, errf("bad design dimensions")
+			}
+			d = design.New(fields[1], w, h, t)
+		case "tech":
+			if len(fields) != 8 {
+				return nil, errf("tech record wants 7 fields, got %d", len(fields)-1)
+			}
+			vals := make([]int, 7)
+			for i := 0; i < 7; i++ {
+				v, err := strconv.Atoi(fields[i+1])
+				if err != nil {
+					return nil, errf("bad tech field %q", fields[i+1])
+				}
+				vals[i] = v
+			}
+			t.TracksPerPanel = vals[0]
+			t.BaseCost = vals[1]
+			t.ViaCost = vals[2]
+			t.ForbiddenViaCost = vals[3]
+			t.LineEndExtension = vals[4]
+			t.MinLineLen = vals[5]
+			t.LineEndSpacing = vals[6]
+		case "net":
+			if d == nil {
+				return nil, errf("net before design record")
+			}
+			if len(fields) != 2 {
+				return nil, errf("net record wants 1 field")
+			}
+			d.AddNet(fields[1])
+		case "pin":
+			if d == nil {
+				return nil, errf("pin before design record")
+			}
+			if len(fields) != 7 {
+				return nil, errf("pin record wants 6 fields, got %d", len(fields)-1)
+			}
+			vals := make([]int, 5)
+			for i := 0; i < 5; i++ {
+				v, err := strconv.Atoi(fields[i+2])
+				if err != nil {
+					return nil, errf("bad pin field %q", fields[i+2])
+				}
+				vals[i] = v
+			}
+			netID := vals[0]
+			if netID < 0 || netID >= len(d.Nets) {
+				return nil, errf("pin references undeclared net %d", netID)
+			}
+			d.AddPin(fields[1], netID, geom.MakeRect(vals[1], vals[2], vals[3], vals[4]))
+		case "blockage":
+			if d == nil {
+				return nil, errf("blockage before design record")
+			}
+			if len(fields) != 6 {
+				return nil, errf("blockage record wants 5 fields, got %d", len(fields)-1)
+			}
+			vals := make([]int, 5)
+			for i := 0; i < 5; i++ {
+				v, err := strconv.Atoi(fields[i+1])
+				if err != nil {
+					return nil, errf("bad blockage field %q", fields[i+1])
+				}
+				vals[i] = v
+			}
+			d.AddBlockage(vals[0], geom.MakeRect(vals[1], vals[2], vals[3], vals[4]))
+		default:
+			return nil, errf("unknown record %q", fields[0])
+		}
+	}
+	if d == nil {
+		return nil, fmt.Errorf("designio: no design record")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("designio: %w", err)
+	}
+	return d, nil
+}

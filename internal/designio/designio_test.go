@@ -1,0 +1,194 @@
+package designio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cpr/internal/design"
+	"cpr/internal/geom"
+	"cpr/internal/synth"
+	"cpr/internal/tech"
+)
+
+func sample(t *testing.T) *design.Design {
+	t.Helper()
+	d := design.New("sample", 40, 20, tech.Default())
+	na := d.AddNet("a")
+	nb := d.AddNet("b")
+	d.AddPin("a0", na, geom.MakeRect(2, 2, 2, 3))
+	d.AddPin("a1", na, geom.MakeRect(30, 2, 30, 3))
+	d.AddPin("b0", nb, geom.MakeRect(10, 12, 11, 12))
+	d.AddBlockage(tech.M2, geom.MakeRect(20, 5, 25, 5))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.Width != d.Width || got.Height != d.Height {
+		t.Errorf("header mismatch: %s %dx%d", got.Name, got.Width, got.Height)
+	}
+	if !reflect.DeepEqual(got.Nets, d.Nets) {
+		t.Errorf("nets mismatch:\n%+v\n%+v", got.Nets, d.Nets)
+	}
+	if !reflect.DeepEqual(got.Pins, d.Pins) {
+		t.Errorf("pins mismatch:\n%+v\n%+v", got.Pins, d.Pins)
+	}
+	if !reflect.DeepEqual(got.Blockages, d.Blockages) {
+		t.Errorf("blockages mismatch")
+	}
+	if *got.Tech != *d.Tech {
+		t.Errorf("tech mismatch: %+v vs %+v", got.Tech, d.Tech)
+	}
+}
+
+func TestRoundTripSynthetic(t *testing.T) {
+	d, err := synth.Generate(synth.Spec{Name: "syn", Nets: 80, Width: 120, Height: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pins) != len(d.Pins) || len(got.Nets) != len(d.Nets) ||
+		len(got.Blockages) != len(d.Blockages) {
+		t.Fatal("structure count mismatch")
+	}
+	// Byte-identical on re-write (deterministic output).
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := Write(&buf3, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Error("serialization not deterministic across round trip")
+	}
+}
+
+func TestCustomTechRoundTrip(t *testing.T) {
+	tc := tech.Default()
+	tc.TracksPerPanel = 8
+	tc.ForbiddenViaCost = 20
+	tc.LineEndExtension = 2
+	d := design.New("custom", 30, 16, tc)
+	n := d.AddNet("n")
+	d.AddPin("p", n, geom.MakeRect(4, 4, 4, 5))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tech.TracksPerPanel != 8 || got.Tech.ForbiddenViaCost != 20 || got.Tech.LineEndExtension != 2 {
+		t.Errorf("tech overrides lost: %+v", got.Tech)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	text := `cpr-design 1
+# a comment
+design demo 20 10
+
+net n0
+pin p0 0 2 2 2 2
+# trailing comment
+`
+	d, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Pins) != 1 || d.Pins[0].Name != "p0" {
+		t.Errorf("parsed %+v", d.Pins)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"bad magic", "nope 1\n"},
+		{"bad version", "cpr-design 9\n"},
+		{"pin before design", "cpr-design 1\npin p 0 1 1 1 1\n"},
+		{"pin bad net", "cpr-design 1\ndesign d 10 10\npin p 3 1 1 1 1\n"},
+		{"unknown record", "cpr-design 1\ndesign d 10 10\nwat 1\n"},
+		{"short pin", "cpr-design 1\ndesign d 10 10\nnet n\npin p 0 1 1\n"},
+		{"non-numeric", "cpr-design 1\ndesign d ten 10\n"},
+		{"no design", "cpr-design 1\nnet n\n"},
+		{"invalid design", "cpr-design 1\ndesign d 10 10\nnet n\n"}, // empty net fails Validate
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	d := design.New("has space", 20, 10, tech.Default())
+	n := d.AddNet("net one")
+	d.AddPin("pin\tone", n, geom.MakeRect(2, 2, 2, 2))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "has_space" || got.Nets[0].Name != "net_one" || got.Pins[0].Name != "pin_one" {
+		t.Errorf("sanitization wrong: %q %q %q", got.Name, got.Nets[0].Name, got.Pins[0].Name)
+	}
+}
+
+// TestFuzzRoundTrip round-trips random generated designs.
+func TestFuzzRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		d, err := synth.Generate(synth.Spec{
+			Name: "fz", Nets: 20 + int(seed)*7, Width: 80, Height: 30, Seed: seed + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got.Pins, d.Pins) {
+			t.Fatalf("seed %d: pins differ", seed)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cpr/internal/core"
+	"cpr/internal/metrics"
+	"cpr/internal/synth"
+)
+
+// Evaluation runs every circuit through all three routing flows exactly
+// once and derives both Table 2 and Figure 7(b) from the same runs —
+// the economical way to regenerate the full §5 evaluation.
+func Evaluation(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	modes := []struct {
+		label string
+		mode  core.Mode
+	}{
+		{"Sequential pin access planning [12]", core.ModeSequential},
+		{"Routing w/o pin access optimization [21]", core.ModeNoPinOpt},
+		{"CPR", core.ModeCPR},
+	}
+	rows := make(map[core.Mode][]metrics.Routing)
+	for _, name := range cfg.Circuits {
+		spec, err := synth.SpecByName(name)
+		if err != nil {
+			return err
+		}
+		for _, m := range modes {
+			fresh, err := synth.Generate(spec)
+			if err != nil {
+				return err
+			}
+			res, err := core.Run(fresh, core.Options{Mode: m.mode})
+			if err != nil {
+				return fmt.Errorf("evaluation %s/%s: %w", name, m.label, err)
+			}
+			rows[m.mode] = append(rows[m.mode], res.Metrics)
+			fmt.Fprintf(w, "# done %s %s: %s\n", name, m.mode, res.Metrics.Row())
+		}
+	}
+
+	fmt.Fprintln(w, "\n=== Table 2 ===")
+	for _, m := range modes {
+		fmt.Fprintf(w, "--- %s ---\n", m.label)
+		fmt.Fprintln(w, metrics.Header())
+		for _, r := range rows[m.mode] {
+			fmt.Fprintln(w, r.Row())
+		}
+		fmt.Fprintln(w, metrics.Average(rows[m.mode]).Row())
+	}
+	cprAvg := metrics.Average(rows[core.ModeCPR])
+	fmt.Fprintln(w, "--- Ratios vs CPR (Rout, Via#, WL, cpu) ---")
+	for _, m := range modes {
+		r := metrics.RatioOf(metrics.Average(rows[m.mode]), cprAvg)
+		fmt.Fprintf(w, "%-42s %.3f %.3f %.3f %.2f\n", m.label, r.Rout, r.Vias, r.WL, r.CPU)
+	}
+
+	fmt.Fprintln(w, "\n=== Figure 7(b): initial congested grids ===")
+	fmt.Fprintf(w, "%-8s %14s %14s %10s\n", "ckt", "w/ pin opt", "w/o pin opt", "reduction")
+	for i, name := range cfg.Circuits {
+		with := rows[core.ModeCPR][i].InitialCongested
+		without := rows[core.ModeNoPinOpt][i].InitialCongested
+		red := 0.0
+		if with > 0 {
+			red = float64(without) / float64(with)
+		}
+		fmt.Fprintf(w, "%-8s %14d %14d %9.2fx\n", name, with, without, red)
+	}
+	return nil
+}

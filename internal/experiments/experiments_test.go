@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cpr/internal/synth"
+)
+
+// tiny config: a scaled-down circuit set so the harness itself is testable
+// in seconds. The named circuits stay available for the full runs.
+func tinyConfig() Config {
+	return Config{Circuits: []string{"ecc"}, Quick: true, ILPTimeLimit: 2 * time.Second}
+}
+
+func TestFig6QuickSweep(t *testing.T) {
+	var buf bytes.Buffer
+	points, err := Fig6(&buf, Config{Quick: true, ILPTimeLimit: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	for i, pt := range points {
+		if pt.LRObjective <= 0 {
+			t.Errorf("point %d: LR objective %g", i, pt.LRObjective)
+		}
+		if pt.ILPRan && pt.ILPObjective > 0 && pt.LRObjective > pt.ILPObjective+1e-6 {
+			t.Errorf("point %d: LR %g beats ILP %g", i, pt.LRObjective, pt.ILPObjective)
+		}
+	}
+	// Pin counts must grow.
+	for i := 1; i < len(points); i++ {
+		if points[i].Pins <= points[i-1].Pins {
+			t.Error("pin counts not increasing")
+		}
+	}
+	if !strings.Contains(buf.String(), "LR cpu(s)") {
+		t.Error("missing header in output")
+	}
+}
+
+func TestFig6LRScalesToLargestPoint(t *testing.T) {
+	// The largest quick point (400 target pins) must be LR-solvable fast;
+	// this is the scalability half of Figure 6(a).
+	var buf bytes.Buffer
+	points, err := Fig6(&buf, Config{Quick: true, ILPTimeLimit: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := points[len(points)-1]
+	if last.LRSeconds > 30 {
+		t.Errorf("LR took %.1fs on %d pins; should be fast", last.LRSeconds, last.Pins)
+	}
+}
+
+func TestFig7bShowsReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-circuit experiment")
+	}
+	var buf bytes.Buffer
+	rows, err := Fig7b(&buf, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper reports 5-10x; we assert the direction (any reduction).
+	if rows[0].WithPinOpt >= rows[0].WithoutOpt {
+		t.Errorf("pin opt did not reduce congestion: %d vs %d",
+			rows[0].WithPinOpt, rows[0].WithoutOpt)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	cfg := Config{Quick: true}
+	for name, fn := range map[string]func(*bytes.Buffer) error{
+		"profit":      func(b *bytes.Buffer) error { return AblationProfit(b, cfg) },
+		"tiebreak":    func(b *bytes.Buffer) error { return AblationTieBreak(b, cfg) },
+		"alpha":       func(b *bytes.Buffer) error { return AblationAlpha(b, cfg) },
+		"refinement":  func(b *bytes.Buffer) error { return AblationRefinement(b, cfg) },
+		"subgradient": func(b *bytes.Buffer) error { return AblationSubgradient(b, cfg) },
+	} {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s: empty output", name)
+		}
+	}
+}
+
+func TestAblationProfitShowsBalanceTradeoff(t *testing.T) {
+	// Direct model-level check of the sqrt-vs-linear balance claim used
+	// by AblationProfit, on a quick sweep instance.
+	d, err := synth.Generate(synth.SweepSpec(200, 91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSqrt, err := wholeDesignModelWithProfit(d, nil2sqrt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mSqrt.NumPins() == 0 {
+		t.Fatal("empty model")
+	}
+}
+
+func nil2sqrt() func(int) float64 {
+	return func(l int) float64 { return float64(l) }
+}
+
+func TestWholeDesignModel(t *testing.T) {
+	d, err := synth.Generate(synth.SweepSpec(100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wholeDesignModel(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPins() != len(d.Pins) {
+		t.Errorf("model pins %d, design pins %d", m.NumPins(), len(d.Pins))
+	}
+}

@@ -1,0 +1,272 @@
+// Package geom provides the elementary integer geometry used throughout the
+// pin access optimizer and router: 1-D closed intervals on routing tracks,
+// 2-D rectangles on a layer, and 3-D grid points.
+//
+// All coordinates are integer grid units. Intervals and rectangles are
+// closed on both ends: Interval{2, 5} covers grid columns 2, 3, 4 and 5.
+package geom
+
+import "fmt"
+
+// Interval is a closed 1-D span [Lo, Hi] of grid columns (or rows) along a
+// routing track. An interval with Hi < Lo is empty.
+type Interval struct {
+	Lo, Hi int
+}
+
+// EmptyInterval returns a canonical empty interval.
+func EmptyInterval() Interval { return Interval{0, -1} }
+
+// MakeInterval returns the interval covering both a and b regardless of
+// argument order.
+func MakeInterval(a, b int) Interval {
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{a, b}
+}
+
+// Empty reports whether the interval covers no grid points.
+func (iv Interval) Empty() bool { return iv.Hi < iv.Lo }
+
+// Len returns the number of grid points covered by the interval.
+func (iv Interval) Len() int {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo + 1
+}
+
+// Contains reports whether x lies within the interval.
+func (iv Interval) Contains(x int) bool { return !iv.Empty() && iv.Lo <= x && x <= iv.Hi }
+
+// ContainsInterval reports whether other lies entirely within iv.
+// An empty other is contained in any non-empty iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if iv.Empty() {
+		return false
+	}
+	if other.Empty() {
+		return true
+	}
+	return iv.Lo <= other.Lo && other.Hi <= iv.Hi
+}
+
+// Overlaps reports whether the two intervals share at least one grid point.
+func (iv Interval) Overlaps(other Interval) bool {
+	if iv.Empty() || other.Empty() {
+		return false
+	}
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// Intersect returns the common span of the two intervals (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if other.Lo > lo {
+		lo = other.Lo
+	}
+	if other.Hi < hi {
+		hi = other.Hi
+	}
+	if hi < lo {
+		return EmptyInterval()
+	}
+	return Interval{lo, hi}
+}
+
+// Union returns the smallest interval covering both intervals. Union with an
+// empty interval returns the other operand.
+func (iv Interval) Union(other Interval) Interval {
+	if iv.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return iv
+	}
+	lo, hi := iv.Lo, iv.Hi
+	if other.Lo < lo {
+		lo = other.Lo
+	}
+	if other.Hi > hi {
+		hi = other.Hi
+	}
+	return Interval{lo, hi}
+}
+
+// Clip returns iv clipped to bound.
+func (iv Interval) Clip(bound Interval) Interval { return iv.Intersect(bound) }
+
+// Touches reports whether the two intervals overlap or are directly adjacent
+// (no free grid point between them). Adjacent unidirectional metal strips
+// merge into one strip, so adjacency matters for line-end rules.
+func (iv Interval) Touches(other Interval) bool {
+	if iv.Empty() || other.Empty() {
+		return false
+	}
+	return iv.Lo <= other.Hi+1 && other.Lo <= iv.Hi+1
+}
+
+func (iv Interval) String() string {
+	if iv.Empty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}
+
+// Point is a 3-D routing grid coordinate. Z is the layer index (0 = M1).
+type Point struct {
+	X, Y, Z int
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%d,%d,L%d)", p.X, p.Y, p.Z) }
+
+// ManhattanXY returns the Manhattan distance between the XY projections of
+// two points, ignoring the layer.
+func ManhattanXY(a, b Point) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Rect is a closed 2-D rectangle [X0,X1]×[Y0,Y1] in grid units.
+// A rectangle with X1 < X0 or Y1 < Y0 is empty.
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// MakeRect returns the rectangle with the given corners normalized so that
+// X0 <= X1 and Y0 <= Y1.
+func MakeRect(x0, y0, x1, y1 int) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{x0, y0, x1, y1}
+}
+
+// Empty reports whether the rectangle covers no grid points.
+func (r Rect) Empty() bool { return r.X1 < r.X0 || r.Y1 < r.Y0 }
+
+// Width returns the number of grid columns covered.
+func (r Rect) Width() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.X1 - r.X0 + 1
+}
+
+// Height returns the number of grid rows covered.
+func (r Rect) Height() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.Y1 - r.Y0 + 1
+}
+
+// Area returns the number of grid points covered.
+func (r Rect) Area() int { return r.Width() * r.Height() }
+
+// XSpan returns the horizontal extent of the rectangle as an interval.
+func (r Rect) XSpan() Interval {
+	if r.Empty() {
+		return EmptyInterval()
+	}
+	return Interval{r.X0, r.X1}
+}
+
+// YSpan returns the vertical extent of the rectangle as an interval.
+func (r Rect) YSpan() Interval {
+	if r.Empty() {
+		return EmptyInterval()
+	}
+	return Interval{r.Y0, r.Y1}
+}
+
+// Contains reports whether the grid point (x, y) lies within the rectangle.
+func (r Rect) Contains(x, y int) bool {
+	return !r.Empty() && r.X0 <= x && x <= r.X1 && r.Y0 <= y && y <= r.Y1
+}
+
+// Overlaps reports whether two rectangles share at least one grid point.
+func (r Rect) Overlaps(other Rect) bool {
+	if r.Empty() || other.Empty() {
+		return false
+	}
+	return r.X0 <= other.X1 && other.X0 <= r.X1 && r.Y0 <= other.Y1 && other.Y0 <= r.Y1
+}
+
+// Intersect returns the common area of two rectangles (possibly empty).
+func (r Rect) Intersect(other Rect) Rect {
+	if !r.Overlaps(other) {
+		return Rect{0, 0, -1, -1}
+	}
+	res := r
+	if other.X0 > res.X0 {
+		res.X0 = other.X0
+	}
+	if other.Y0 > res.Y0 {
+		res.Y0 = other.Y0
+	}
+	if other.X1 < res.X1 {
+		res.X1 = other.X1
+	}
+	if other.Y1 < res.Y1 {
+		res.Y1 = other.Y1
+	}
+	return res
+}
+
+// Union returns the bounding box of two rectangles. Union with an empty
+// rectangle returns the other operand.
+func (r Rect) Union(other Rect) Rect {
+	if r.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return r
+	}
+	res := r
+	if other.X0 < res.X0 {
+		res.X0 = other.X0
+	}
+	if other.Y0 < res.Y0 {
+		res.Y0 = other.Y0
+	}
+	if other.X1 > res.X1 {
+		res.X1 = other.X1
+	}
+	if other.Y1 > res.Y1 {
+		res.Y1 = other.Y1
+	}
+	return res
+}
+
+// Expand returns the rectangle grown by d grid units on every side.
+// Negative d shrinks the rectangle (possibly to empty).
+func (r Rect) Expand(d int) Rect {
+	if r.Empty() {
+		return r
+	}
+	return Rect{r.X0 - d, r.Y0 - d, r.X1 + d, r.Y1 + d}
+}
+
+// CenterX returns the x coordinate of the rectangle center (rounded down).
+func (r Rect) CenterX() int { return (r.X0 + r.X1) / 2 }
+
+// CenterY returns the y coordinate of the rectangle center (rounded down).
+func (r Rect) CenterY() int { return (r.Y0 + r.Y1) / 2 }
+
+func (r Rect) String() string {
+	if r.Empty() {
+		return "rect[empty]"
+	}
+	return fmt.Sprintf("rect[%d,%d..%d,%d]", r.X0, r.Y0, r.X1, r.Y1)
+}

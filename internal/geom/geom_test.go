@@ -1,0 +1,317 @@
+package geom
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{2, 5}
+	if iv.Empty() {
+		t.Fatal("interval [2,5] should not be empty")
+	}
+	if got := iv.Len(); got != 4 {
+		t.Errorf("Len() = %d, want 4", got)
+	}
+	for x := 2; x <= 5; x++ {
+		if !iv.Contains(x) {
+			t.Errorf("Contains(%d) = false, want true", x)
+		}
+	}
+	if iv.Contains(1) || iv.Contains(6) {
+		t.Error("Contains outside bounds should be false")
+	}
+}
+
+func TestEmptyInterval(t *testing.T) {
+	e := EmptyInterval()
+	if !e.Empty() {
+		t.Fatal("EmptyInterval should be empty")
+	}
+	if e.Len() != 0 {
+		t.Errorf("empty Len() = %d, want 0", e.Len())
+	}
+	if e.Contains(0) {
+		t.Error("empty interval should contain nothing")
+	}
+	if e.Overlaps(Interval{-100, 100}) {
+		t.Error("empty interval should overlap nothing")
+	}
+	if e.ContainsInterval(Interval{0, 0}) {
+		t.Error("empty interval should contain no interval")
+	}
+}
+
+func TestMakeInterval(t *testing.T) {
+	if got := MakeInterval(5, 2); got != (Interval{2, 5}) {
+		t.Errorf("MakeInterval(5,2) = %v, want [2,5]", got)
+	}
+	if got := MakeInterval(3, 3); got != (Interval{3, 3}) {
+		t.Errorf("MakeInterval(3,3) = %v, want [3,3]", got)
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{Interval{0, 3}, Interval{3, 6}, true},    // share endpoint
+		{Interval{0, 3}, Interval{4, 6}, false},   // adjacent, no overlap
+		{Interval{0, 10}, Interval{2, 4}, true},   // containment
+		{Interval{5, 5}, Interval{5, 5}, true},    // identical single point
+		{Interval{0, 1}, Interval{8, 9}, false},   // disjoint
+		{Interval{8, 9}, Interval{0, 1}, false},   // disjoint reversed
+		{Interval{-5, -1}, Interval{-2, 3}, true}, // negative coords
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("Overlaps not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestIntervalTouches(t *testing.T) {
+	if !(Interval{0, 3}).Touches(Interval{4, 6}) {
+		t.Error("adjacent intervals should touch")
+	}
+	if (Interval{0, 3}).Touches(Interval{5, 6}) {
+		t.Error("intervals with a gap should not touch")
+	}
+	if !(Interval{0, 3}).Touches(Interval{2, 6}) {
+		t.Error("overlapping intervals should touch")
+	}
+	if EmptyInterval().Touches(Interval{0, 3}) {
+		t.Error("empty interval should touch nothing")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	got := Interval{0, 5}.Intersect(Interval{3, 9})
+	if got != (Interval{3, 5}) {
+		t.Errorf("Intersect = %v, want [3,5]", got)
+	}
+	if !(Interval{0, 2}).Intersect(Interval{3, 4}).Empty() {
+		t.Error("disjoint Intersect should be empty")
+	}
+}
+
+func TestIntervalUnion(t *testing.T) {
+	got := Interval{0, 2}.Union(Interval{5, 9})
+	if got != (Interval{0, 9}) {
+		t.Errorf("Union = %v, want [0,9]", got)
+	}
+	if got := EmptyInterval().Union(Interval{1, 2}); got != (Interval{1, 2}) {
+		t.Errorf("empty Union = %v, want [1,2]", got)
+	}
+	if got := (Interval{1, 2}).Union(EmptyInterval()); got != (Interval{1, 2}) {
+		t.Errorf("Union empty = %v, want [1,2]", got)
+	}
+}
+
+func TestIntervalContainsInterval(t *testing.T) {
+	if !(Interval{0, 10}).ContainsInterval(Interval{3, 7}) {
+		t.Error("[0,10] should contain [3,7]")
+	}
+	if (Interval{0, 10}).ContainsInterval(Interval{3, 11}) {
+		t.Error("[0,10] should not contain [3,11]")
+	}
+	if !(Interval{0, 10}).ContainsInterval(EmptyInterval()) {
+		t.Error("non-empty interval should contain the empty interval")
+	}
+}
+
+// genInterval produces a random small interval (possibly empty).
+func genInterval(r *rand.Rand) Interval {
+	lo := r.Intn(41) - 20
+	length := r.Intn(12) - 1 // -1 yields an empty interval
+	return Interval{lo, lo + length}
+}
+
+func TestIntervalIntersectProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(genInterval(r))
+			vals[1] = reflect.ValueOf(genInterval(r))
+		},
+	}
+	// Intersection is symmetric, contained in both operands, and
+	// non-empty exactly when the operands overlap.
+	prop := func(a, b Interval) bool {
+		ab := a.Intersect(b)
+		ba := b.Intersect(a)
+		if ab.Empty() != ba.Empty() {
+			return false
+		}
+		if !ab.Empty() && ab != ba {
+			return false
+		}
+		if ab.Empty() != !a.Overlaps(b) {
+			return false
+		}
+		if !ab.Empty() && (!a.ContainsInterval(ab) || !b.ContainsInterval(ab)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalUnionProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(genInterval(r))
+			vals[1] = reflect.ValueOf(genInterval(r))
+		},
+	}
+	// Union contains both operands and its length is at least the larger
+	// operand's length and at most the sum when disjoint.
+	prop := func(a, b Interval) bool {
+		u := a.Union(b)
+		if !a.Empty() && !u.ContainsInterval(a) {
+			return false
+		}
+		if !b.Empty() && !u.ContainsInterval(b) {
+			return false
+		}
+		if u.Len() < a.Len() || u.Len() < b.Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := MakeRect(4, 7, 1, 2) // unnormalized corners
+	if r != (Rect{1, 2, 4, 7}) {
+		t.Fatalf("MakeRect normalization failed: %v", r)
+	}
+	if r.Width() != 4 || r.Height() != 6 {
+		t.Errorf("Width/Height = %d/%d, want 4/6", r.Width(), r.Height())
+	}
+	if r.Area() != 24 {
+		t.Errorf("Area = %d, want 24", r.Area())
+	}
+	if r.XSpan() != (Interval{1, 4}) || r.YSpan() != (Interval{2, 7}) {
+		t.Errorf("XSpan/YSpan wrong: %v %v", r.XSpan(), r.YSpan())
+	}
+	if !r.Contains(1, 2) || !r.Contains(4, 7) || r.Contains(0, 2) || r.Contains(1, 8) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+}
+
+func TestRectOverlapIntersectUnion(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	b := Rect{3, 3, 8, 8}
+	if !a.Overlaps(b) {
+		t.Fatal("a should overlap b")
+	}
+	got := a.Intersect(b)
+	if got != (Rect{3, 3, 4, 4}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	u := a.Union(b)
+	if u != (Rect{0, 0, 8, 8}) {
+		t.Errorf("Union = %v", u)
+	}
+	c := Rect{10, 10, 12, 12}
+	if a.Overlaps(c) {
+		t.Error("a should not overlap c")
+	}
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint Intersect should be empty")
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := Rect{2, 2, 4, 4}
+	if got := r.Expand(1); got != (Rect{1, 1, 5, 5}) {
+		t.Errorf("Expand(1) = %v", got)
+	}
+	if got := r.Expand(-2); !got.Empty() {
+		t.Errorf("Expand(-2) should be empty, got %v", got)
+	}
+}
+
+func TestRectCenter(t *testing.T) {
+	r := Rect{0, 0, 4, 6}
+	if r.CenterX() != 2 || r.CenterY() != 3 {
+		t.Errorf("Center = (%d,%d), want (2,3)", r.CenterX(), r.CenterY())
+	}
+}
+
+func TestManhattanXY(t *testing.T) {
+	a := Point{0, 0, 0}
+	b := Point{3, -4, 2}
+	if got := ManhattanXY(a, b); got != 7 {
+		t.Errorf("ManhattanXY = %d, want 7", got)
+	}
+	if got := ManhattanXY(b, a); got != 7 {
+		t.Error("ManhattanXY not symmetric")
+	}
+}
+
+func genRect(r *rand.Rand) Rect {
+	x0 := r.Intn(21) - 10
+	y0 := r.Intn(21) - 10
+	return Rect{x0, y0, x0 + r.Intn(8) - 1, y0 + r.Intn(8) - 1}
+}
+
+func TestRectIntersectProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(genRect(r))
+			vals[1] = reflect.ValueOf(genRect(r))
+		},
+	}
+	// Rect overlap must agree with per-axis interval overlap, and the
+	// intersection area is bounded by both operand areas.
+	prop := func(a, b Rect) bool {
+		want := a.XSpan().Overlaps(b.XSpan()) && a.YSpan().Overlaps(b.YSpan())
+		if a.Overlaps(b) != want {
+			return false
+		}
+		in := a.Intersect(b)
+		if in.Empty() != !want {
+			return false
+		}
+		if !in.Empty() && (in.Area() > a.Area() || in.Area() > b.Area()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if (Interval{1, 3}).String() != "[1,3]" {
+		t.Error("Interval.String wrong")
+	}
+	if EmptyInterval().String() != "[empty]" {
+		t.Error("empty Interval.String wrong")
+	}
+	if (Point{1, 2, 1}).String() != "(1,2,L1)" {
+		t.Error("Point.String wrong")
+	}
+	if (Rect{1, 2, 3, 4}).String() != "rect[1,2..3,4]" {
+		t.Error("Rect.String wrong")
+	}
+	if (Rect{0, 0, -1, 0}).String() != "rect[empty]" {
+		t.Error("empty Rect.String wrong")
+	}
+}

@@ -1,0 +1,415 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	maximize    c'x
+//	subject to  a_i'x  {<=, >=, =}  b_i      for every constraint i
+//	            x >= 0
+//
+// It exists because the reproduction must be stdlib-only: the paper solves
+// its weighted interval assignment ILP with an off-the-shelf solver, so we
+// provide the LP core (this package) and a branch-and-bound wrapper
+// (package ilp) ourselves.
+//
+// The implementation is a textbook dense tableau with Dantzig pricing and a
+// Bland's-rule fallback for anti-cycling. It is intended for the small to
+// medium per-panel problems of the pin access optimizer, not as a general
+// high-performance LP code.
+package lp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sense is the comparison direction of a constraint.
+type Sense int
+
+const (
+	// LE means a'x <= b.
+	LE Sense = iota
+	// GE means a'x >= b.
+	GE
+	// EQ means a'x = b.
+	EQ
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Term is one coefficient of a sparse constraint row.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is a sparse linear constraint.
+type Constraint struct {
+	Terms []Term
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is a linear program over NumVars non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // length NumVars; maximized
+	Constraints []Constraint
+
+	// Deadline, when non-zero, aborts the solve with IterLimit status
+	// once exceeded (checked periodically during pivoting).
+	Deadline time.Time
+}
+
+// NewProblem returns an empty problem with n variables.
+func NewProblem(n int) *Problem {
+	return &Problem{NumVars: n, Objective: make([]float64, n)}
+}
+
+// AddConstraint appends a constraint built from sparse terms.
+func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) {
+	p.Constraints = append(p.Constraints, Constraint{Terms: terms, Sense: sense, RHS: rhs})
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint system has no solution.
+	Infeasible
+	// Unbounded means the objective can grow without limit.
+	Unbounded
+	// IterLimit means the iteration cap was hit before convergence.
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "iteration-limit"
+	}
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Iterations is the total number of simplex pivots performed.
+	Iterations int
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase primal simplex on the problem.
+func Solve(p *Problem) Solution {
+	if err := p.validate(); err != nil {
+		panic(fmt.Sprintf("lp: invalid problem: %v", err))
+	}
+	t := newTableau(p)
+	t.deadline = p.Deadline
+	return t.solve(p)
+}
+
+func (p *Problem) validate() error {
+	if p.NumVars < 0 {
+		return fmt.Errorf("negative NumVars %d", p.NumVars)
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("objective length %d != NumVars %d", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		for _, tm := range c.Terms {
+			if tm.Var < 0 || tm.Var >= p.NumVars {
+				return fmt.Errorf("constraint %d references variable %d out of [0,%d)",
+					i, tm.Var, p.NumVars)
+			}
+			if math.IsNaN(tm.Coef) || math.IsInf(tm.Coef, 0) {
+				return fmt.Errorf("constraint %d has non-finite coefficient", i)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("constraint %d has non-finite RHS", i)
+		}
+	}
+	return nil
+}
+
+// tableau is the dense simplex working state.
+//
+// Column layout: [0, nStruct) structural variables, then slack/surplus
+// columns, then artificial columns. rows[i] has length nCols+1 with the RHS
+// in the last slot. objRow holds the reduced-cost row (z_j - c_j) with the
+// current objective value in the last slot.
+type tableau struct {
+	nStruct  int
+	nCols    int
+	artLo    int // first artificial column index
+	rows     [][]float64
+	objRow   []float64
+	basis    []int
+	iters    int
+	maxIter  int
+	deadline time.Time
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.Constraints)
+	// Count extra columns.
+	nSlack, nArt := 0, 0
+	for _, c := range p.Constraints {
+		rhs := c.RHS
+		sense := c.Sense
+		if rhs < 0 {
+			// Will be normalized by sign flip below.
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	t := &tableau{
+		nStruct: p.NumVars,
+		nCols:   p.NumVars + nSlack + nArt,
+		artLo:   p.NumVars + nSlack,
+		basis:   make([]int, m),
+	}
+	t.maxIter = 200*(m+t.nCols) + 2000
+	t.rows = make([][]float64, m)
+	slackCol := p.NumVars
+	artCol := t.artLo
+	for i, c := range p.Constraints {
+		row := make([]float64, t.nCols+1)
+		for _, tm := range c.Terms {
+			row[tm.Var] += tm.Coef
+		}
+		rhs := c.RHS
+		sense := c.Sense
+		if rhs < 0 {
+			for j := 0; j < p.NumVars; j++ {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		row[t.nCols] = rhs
+		switch sense {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.rows[i] = row
+	}
+	return t
+}
+
+func (t *tableau) solve(p *Problem) Solution {
+	// Phase 1: maximize -sum(artificials); feasible iff optimum is ~0.
+	if t.artLo < t.nCols {
+		t.objRow = make([]float64, t.nCols+1)
+		// z_j - c_j with c = -1 on artificials, priced out for the
+		// initial (artificial/slack) basis.
+		for j := t.artLo; j < t.nCols; j++ {
+			t.objRow[j] = 1 // -c_j = +1
+		}
+		for i, b := range t.basis {
+			if b >= t.artLo {
+				// Basic artificial has cost -1: subtract its row.
+				for j := 0; j <= t.nCols; j++ {
+					t.objRow[j] -= t.rows[i][j]
+				}
+			}
+		}
+		status := t.iterate(t.nCols)
+		if status == IterLimit {
+			return Solution{Status: IterLimit, Iterations: t.iters}
+		}
+		if t.objRow[t.nCols] < -1e-7 {
+			return Solution{Status: Infeasible, Iterations: t.iters}
+		}
+		t.evictArtificials()
+	}
+
+	// Phase 2: maximize the real objective over non-artificial columns.
+	t.objRow = make([]float64, t.nCols+1)
+	for j := 0; j < t.nStruct; j++ {
+		t.objRow[j] = -p.Objective[j]
+	}
+	for i, b := range t.basis {
+		if b < t.nStruct && p.Objective[b] != 0 {
+			cb := p.Objective[b]
+			for j := 0; j <= t.nCols; j++ {
+				t.objRow[j] += cb * t.rows[i][j]
+			}
+		}
+	}
+	status := t.iterate(t.artLo)
+	sol := Solution{Status: status, Iterations: t.iters}
+	if status == Unbounded {
+		return sol
+	}
+	sol.X = make([]float64, t.nStruct)
+	for i, b := range t.basis {
+		if b < t.nStruct {
+			sol.X[b] = t.rows[i][t.nCols]
+		}
+	}
+	sol.Objective = t.objRow[t.nCols]
+	return sol
+}
+
+// iterate performs simplex pivots until optimality, unboundedness, or the
+// iteration cap. Entering columns are restricted to [0, colLimit).
+func (t *tableau) iterate(colLimit int) Status {
+	blandAfter := t.maxIter / 2
+	for ; t.iters < t.maxIter; t.iters++ {
+		if t.iters%128 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
+			return IterLimit
+		}
+		enter := -1
+		if t.iters < blandAfter {
+			best := -eps
+			for j := 0; j < colLimit; j++ {
+				if t.objRow[j] < best {
+					best = t.objRow[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < colLimit; j++ {
+				if t.objRow[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		leave := -1
+		var minRatio float64
+		for i := range t.rows {
+			aij := t.rows[i][enter]
+			if aij <= eps {
+				continue
+			}
+			ratio := t.rows[i][t.nCols] / aij
+			if leave < 0 || ratio < minRatio-eps ||
+				(ratio < minRatio+eps && t.basis[i] < t.basis[leave]) {
+				leave = i
+				minRatio = ratio
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return IterLimit
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	prow := t.rows[leave]
+	pv := prow[enter]
+	inv := 1 / pv
+	for j := 0; j <= t.nCols; j++ {
+		prow[j] *= inv
+	}
+	prow[enter] = 1 // exact
+	for i := range t.rows {
+		if i == leave {
+			continue
+		}
+		f := t.rows[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := 0; j <= t.nCols; j++ {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0 // exact
+	}
+	f := t.objRow[enter]
+	if f != 0 {
+		for j := 0; j <= t.nCols; j++ {
+			t.objRow[j] -= f * prow[j]
+		}
+		t.objRow[enter] = 0
+	}
+	t.basis[leave] = enter
+}
+
+// evictArtificials pivots basic artificial variables (at value ~0 after a
+// feasible phase 1) out of the basis where possible. Rows where no
+// non-artificial pivot exists are redundant and are zeroed.
+func (t *tableau) evictArtificials() {
+	for i, b := range t.basis {
+		if b < t.artLo {
+			continue
+		}
+		pivotCol := -1
+		for j := 0; j < t.artLo; j++ {
+			if math.Abs(t.rows[i][j]) > eps {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol >= 0 {
+			t.pivot(i, pivotCol)
+		} else {
+			// Redundant constraint: zero the row so it never pivots.
+			for j := 0; j <= t.nCols; j++ {
+				t.rows[i][j] = 0
+			}
+		}
+	}
+	// Remove artificial columns from consideration by truncating widths.
+	// (Columns remain allocated; iterate() restricts entering columns to
+	// [0, artLo) in phase 2, and basic artificials are gone or in zeroed
+	// rows.)
+}

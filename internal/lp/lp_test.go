@@ -1,0 +1,309 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// checkFeasible verifies that sol.X satisfies every constraint of p.
+func checkFeasible(t *testing.T, p *Problem, x []float64) {
+	t.Helper()
+	for i, c := range p.Constraints {
+		lhs := 0.0
+		for _, tm := range c.Terms {
+			lhs += tm.Coef * x[tm.Var]
+		}
+		switch c.Sense {
+		case LE:
+			if lhs > c.RHS+1e-6 {
+				t.Errorf("constraint %d violated: %g <= %g", i, lhs, c.RHS)
+			}
+		case GE:
+			if lhs < c.RHS-1e-6 {
+				t.Errorf("constraint %d violated: %g >= %g", i, lhs, c.RHS)
+			}
+		case EQ:
+			if !approx(lhs, c.RHS, 1e-6) {
+				t.Errorf("constraint %d violated: %g = %g", i, lhs, c.RHS)
+			}
+		}
+	}
+	for j, v := range x {
+		if v < -1e-6 {
+			t.Errorf("x[%d] = %g negative", j, v)
+		}
+	}
+}
+
+func TestTextbookLP(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18 -> opt 36 at (2,6).
+	p := NewProblem(2)
+	p.Objective = []float64{3, 5}
+	p.AddConstraint([]Term{{0, 1}}, LE, 4)
+	p.AddConstraint([]Term{{1, 2}}, LE, 12)
+	p.AddConstraint([]Term{{0, 3}, {1, 2}}, LE, 18)
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 36, 1e-7) {
+		t.Errorf("objective = %g, want 36", sol.Objective)
+	}
+	if !approx(sol.X[0], 2, 1e-7) || !approx(sol.X[1], 6, 1e-7) {
+		t.Errorf("x = %v, want (2,6)", sol.X)
+	}
+	checkFeasible(t, p, sol.X)
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// max x + 2y s.t. x + y = 10; y <= 7 -> opt at (3,7) = 17.
+	p := NewProblem(2)
+	p.Objective = []float64{1, 2}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 10)
+	p.AddConstraint([]Term{{1, 1}}, LE, 7)
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 17, 1e-7) {
+		t.Errorf("objective = %g, want 17", sol.Objective)
+	}
+	checkFeasible(t, p, sol.X)
+}
+
+func TestGEConstraints(t *testing.T) {
+	// max -x - y s.t. x + 2y >= 4; 3x + y >= 6  (minimize x+y).
+	// Optimum of min x+y is at intersection: x+2y=4, 3x+y=6 -> x=8/5, y=6/5.
+	p := NewProblem(2)
+	p.Objective = []float64{-1, -1}
+	p.AddConstraint([]Term{{0, 1}, {1, 2}}, GE, 4)
+	p.AddConstraint([]Term{{0, 3}, {1, 1}}, GE, 6)
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, -(8.0/5 + 6.0/5), 1e-7) {
+		t.Errorf("objective = %g, want %g", sol.Objective, -(8.0/5 + 6.0/5))
+	}
+	checkFeasible(t, p, sol.X)
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2 simultaneously.
+	p := NewProblem(1)
+	p.Objective = []float64{1}
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 2)
+	sol := Solve(p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// max x with only x >= 1.
+	p := NewProblem(1)
+	p.Objective = []float64{1}
+	p.AddConstraint([]Term{{0, 1}}, GE, 1)
+	sol := Solve(p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x <= -3 is x >= 3; max -x -> x = 3, objective -3.
+	p := NewProblem(1)
+	p.Objective = []float64{-1}
+	p.AddConstraint([]Term{{0, -1}}, LE, -3)
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.X[0], 3, 1e-7) {
+		t.Errorf("x = %v, want 3", sol.X)
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// Classic degeneracy: multiple constraints through the same vertex.
+	p := NewProblem(2)
+	p.Objective = []float64{1, 1}
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+	p.AddConstraint([]Term{{1, 1}}, LE, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 2)
+	p.AddConstraint([]Term{{0, 1}, {1, -1}}, LE, 0)
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 2, 1e-7) {
+		t.Errorf("objective = %g, want 2", sol.Objective)
+	}
+	checkFeasible(t, p, sol.X)
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicate equality rows exercise artificial eviction of redundant
+	// rows.
+	p := NewProblem(2)
+	p.Objective = []float64{2, 3}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 5)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 4)
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 15, 1e-7) { // all weight on y: 3*5
+		t.Errorf("objective = %g, want 15", sol.Objective)
+	}
+	checkFeasible(t, p, sol.X)
+}
+
+func TestZeroVariableProblem(t *testing.T) {
+	p := NewProblem(0)
+	sol := Solve(p)
+	if sol.Status != Optimal || sol.Objective != 0 {
+		t.Fatalf("empty problem: %+v", sol)
+	}
+}
+
+func TestAssignmentShapedLP(t *testing.T) {
+	// The shape used by the pin access ILP relaxation: one equality per
+	// pin over its intervals, <=1 per conflict set. Two pins, three
+	// intervals each, intervals 2 and 3 conflict.
+	//
+	// vars: p1 has x0,x1,x2 (profits 3,2,1); p2 has x3,x4,x5 (profits
+	// 3,2,1); conflict {x0, x3} -> only one of the two best picks.
+	p := NewProblem(6)
+	p.Objective = []float64{3, 2, 1, 3, 2, 1}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}, {2, 1}}, EQ, 1)
+	p.AddConstraint([]Term{{3, 1}, {4, 1}, {5, 1}}, EQ, 1)
+	p.AddConstraint([]Term{{0, 1}, {3, 1}}, LE, 1)
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 5, 1e-7) { // 3 + 2
+		t.Errorf("objective = %g, want 5", sol.Objective)
+	}
+	checkFeasible(t, p, sol.X)
+}
+
+// TestRandomFeasibleProblems builds random LPs with a known feasible point
+// and verifies that the solver (a) reports optimal, (b) returns a feasible
+// solution, and (c) achieves an objective no worse than the known point.
+func TestRandomFeasibleProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.Objective[j] = float64(rng.Intn(11) - 5)
+		}
+		// Known feasible point.
+		x0 := make([]float64, n)
+		for j := range x0 {
+			x0[j] = float64(rng.Intn(4))
+		}
+		for i := 0; i < m; i++ {
+			var terms []Term
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				coef := float64(rng.Intn(7) - 3)
+				if coef == 0 {
+					continue
+				}
+				terms = append(terms, Term{j, coef})
+				lhs += coef * x0[j]
+			}
+			// Make the constraint hold at x0 with slack, and keep the
+			// problem bounded by adding only <= rows plus box rows below.
+			p.AddConstraint(terms, LE, lhs+float64(rng.Intn(5)))
+		}
+		// Box: x_j <= x0_j + K keeps everything bounded.
+		for j := 0; j < n; j++ {
+			p.AddConstraint([]Term{{j, 1}}, LE, x0[j]+10)
+		}
+		sol := Solve(p)
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		checkFeasible(t, p, sol.X)
+		obj0 := 0.0
+		for j := range x0 {
+			obj0 += p.Objective[j] * x0[j]
+		}
+		if sol.Objective < obj0-1e-6 {
+			t.Fatalf("trial %d: objective %g worse than feasible point %g",
+				trial, sol.Objective, obj0)
+		}
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range variable")
+		}
+	}()
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{3, 1}}, LE, 1)
+	Solve(p)
+}
+
+func TestSenseAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Sense strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || IterLimit.String() != "iteration-limit" {
+		t.Error("Status strings wrong")
+	}
+}
+
+func TestDeadlineAborts(t *testing.T) {
+	// A generously sized random LP with an already-expired deadline must
+	// return IterLimit promptly instead of solving.
+	rng := rand.New(rand.NewSource(3))
+	n := 60
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.Objective[j] = rng.Float64()
+	}
+	for i := 0; i < 40; i++ {
+		var terms []Term
+		for j := 0; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				terms = append(terms, Term{j, rng.Float64()})
+			}
+		}
+		p.AddConstraint(terms, LE, 5+rng.Float64())
+	}
+	p.Deadline = time.Now().Add(-time.Second)
+	sol := Solve(p)
+	if sol.Status != IterLimit {
+		t.Errorf("status = %v, want iteration-limit from expired deadline", sol.Status)
+	}
+}
+
+func TestIterationsReported(t *testing.T) {
+	p := NewProblem(2)
+	p.Objective = []float64{3, 5}
+	p.AddConstraint([]Term{{0, 1}}, LE, 4)
+	p.AddConstraint([]Term{{1, 2}}, LE, 12)
+	p.AddConstraint([]Term{{0, 3}, {1, 2}}, LE, 18)
+	sol := Solve(p)
+	if sol.Iterations <= 0 {
+		t.Errorf("iterations = %d, want > 0", sol.Iterations)
+	}
+}

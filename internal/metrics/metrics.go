@@ -1,0 +1,125 @@
+// Package metrics computes the evaluation metrics of the paper's §5 from
+// routing results: routability ("Rout."), via count ("Via#"), wirelength
+// ("WL" — grid wirelength of routed nets plus half-perimeter wirelength of
+// unrouted nets), runtime, and initial congested grid counts.
+package metrics
+
+import (
+	"fmt"
+
+	"cpr/internal/design"
+	"cpr/internal/grid"
+	"cpr/internal/router"
+)
+
+// Routing summarizes one routing run in the paper's Table 2 vocabulary.
+type Routing struct {
+	Circuit   string
+	TotalNets int
+	// RoutedNets is the number of design-rule-clean connected nets.
+	RoutedNets int
+	// RoutPct is 100 * RoutedNets / TotalNets.
+	RoutPct float64
+	// Vias is the via count over routed nets.
+	Vias int
+	// WL is grid wirelength of routed nets plus HPWL of unrouted nets.
+	WL int
+	// CPUSeconds is wall-clock routing (plus optimization) time.
+	CPUSeconds float64
+	// InitialCongested is the congested grid count before rip-up and
+	// reroute (Figure 7(b)).
+	InitialCongested int
+	// NegotiationIters counts rip-up rounds.
+	NegotiationIters int
+}
+
+// FromResult assembles metrics from a router result.
+func FromResult(d *design.Design, res *router.Result) Routing {
+	m := Routing{
+		Circuit:          d.Name,
+		TotalNets:        len(d.Nets),
+		RoutedNets:       res.RoutedNets,
+		Vias:             res.Vias,
+		WL:               res.Wirelength,
+		CPUSeconds:       res.Elapsed.Seconds(),
+		InitialCongested: res.InitialCongested,
+		NegotiationIters: res.NegotiationIters,
+	}
+	if m.TotalNets > 0 {
+		m.RoutPct = 100 * float64(m.RoutedNets) / float64(m.TotalNets)
+	}
+	for netID, nr := range res.Routes {
+		if nr == nil || !nr.Routed {
+			m.WL += d.HPWL(netID)
+		}
+	}
+	return m
+}
+
+// Row renders the metrics as a Table 2 style row.
+func (m Routing) Row() string {
+	return fmt.Sprintf("%-6s %7d %8.2f %8d %9d %9.2f",
+		m.Circuit, m.TotalNets, m.RoutPct, m.Vias, m.WL, m.CPUSeconds)
+}
+
+// Header returns the column header matching Row.
+func Header() string {
+	return fmt.Sprintf("%-6s %7s %8s %8s %9s %9s",
+		"ckt", "nets", "Rout.%", "Via#", "WL", "cpu(s)")
+}
+
+// Ratio holds per-metric ratios between two runs (paper's "Ratio" row and
+// Figure 7(a) LR/ILP comparison).
+type Ratio struct {
+	Rout float64
+	Vias float64
+	WL   float64
+	CPU  float64
+}
+
+// RatioOf computes a/b per metric. Zero denominators yield zero.
+func RatioOf(a, b Routing) Ratio {
+	div := func(x, y float64) float64 {
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	}
+	return Ratio{
+		Rout: div(a.RoutPct, b.RoutPct),
+		Vias: div(float64(a.Vias), float64(b.Vias)),
+		WL:   div(float64(a.WL), float64(b.WL)),
+		CPU:  div(a.CPUSeconds, b.CPUSeconds),
+	}
+}
+
+// Average aggregates metric rows by arithmetic mean (the paper's "Avg."
+// row).
+func Average(rows []Routing) Routing {
+	if len(rows) == 0 {
+		return Routing{Circuit: "Avg."}
+	}
+	avg := Routing{Circuit: "Avg."}
+	for _, r := range rows {
+		avg.TotalNets += r.TotalNets
+		avg.RoutedNets += r.RoutedNets
+		avg.RoutPct += r.RoutPct
+		avg.Vias += r.Vias
+		avg.WL += r.WL
+		avg.CPUSeconds += r.CPUSeconds
+		avg.InitialCongested += r.InitialCongested
+	}
+	n := float64(len(rows))
+	avg.TotalNets = int(float64(avg.TotalNets)/n + 0.5)
+	avg.RoutedNets = int(float64(avg.RoutedNets)/n + 0.5)
+	avg.RoutPct /= n
+	avg.Vias = int(float64(avg.Vias)/n + 0.5)
+	avg.WL = int(float64(avg.WL)/n + 0.5)
+	avg.CPUSeconds /= n
+	avg.InitialCongested = int(float64(avg.InitialCongested)/n + 0.5)
+	return avg
+}
+
+// CongestedGrids re-counts the congested grid metric directly from a grid
+// (used in tests to cross-check router bookkeeping).
+func CongestedGrids(g *grid.Graph) int { return g.CongestedCount() }

@@ -1,0 +1,297 @@
+// Package pinaccess implements track-based pin access interval generation
+// (paper §3.1).
+//
+// For every I/O pin and every M2 track the pin's M1 shape overlaps, the
+// generator enumerates candidate pin access intervals inside the pin's net
+// bounding box:
+//
+//   - the minimum interval — the smallest metal strip covering the pin,
+//     which always exists and underpins the feasibility guarantee of
+//     Theorem 1;
+//   - intervals ending at the vertical cut lines of each diff-net pin on
+//     the same track (O(m*n) combinations for m diff-net pins on the left
+//     and n on the right);
+//   - the maximum interval — spanning the net bounding box clipped by
+//     routing blockages.
+//
+// Intervals of the same net with identical (track, span) are deduplicated;
+// an interval that fully covers several same-net pins serves all of them
+// (an intra-panel connection, preferred by the optimizer).
+package pinaccess
+
+import (
+	"fmt"
+	"sort"
+
+	"cpr/internal/design"
+	"cpr/internal/geom"
+)
+
+// Interval is a candidate pin access interval on a single M2 track.
+type Interval struct {
+	// ID is the interval's index within its Set.
+	ID int
+	// NetID is the net every covered pin belongs to.
+	NetID int
+	// Track is the global M2 track (y coordinate).
+	Track int
+	// Span is the closed x range of the metal strip.
+	Span geom.Interval
+	// PinIDs lists the same-net pins fully covered by the strip, in
+	// ascending order. It always contains at least the pin the interval
+	// was generated for.
+	PinIDs []int
+	// MinForPin is the pin ID this interval is the minimum interval of,
+	// or -1. Minimum intervals exist per (pin, track) pair.
+	MinForPin int
+}
+
+// Covers reports whether the interval serves pin id.
+func (iv *Interval) Covers(id int) bool {
+	for _, p := range iv.PinIDs {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Set is the complete generated interval collection for a group of pins
+// (usually one panel).
+type Set struct {
+	// Intervals holds every deduplicated candidate, indexed by ID.
+	Intervals []Interval
+	// PinIDs lists the pins the set was generated for, ascending.
+	PinIDs []int
+	// ByPin maps a pin ID to the IDs of intervals covering it (the set
+	// S_j of the paper), each ascending.
+	ByPin map[int][]int
+}
+
+// MinInterval returns the ID of pin id's minimum interval on the given
+// track, or -1 if none was generated there.
+func (s *Set) MinInterval(pin, track int) int {
+	for _, ivID := range s.ByPin[pin] {
+		iv := &s.Intervals[ivID]
+		if iv.MinForPin == pin && iv.Track == track {
+			return ivID
+		}
+	}
+	return -1
+}
+
+// AnyMinInterval returns the ID of one of pin id's minimum intervals
+// (lowest track first), or -1 if the pin has none.
+func (s *Set) AnyMinInterval(pin int) int {
+	best := -1
+	for _, ivID := range s.ByPin[pin] {
+		iv := &s.Intervals[ivID]
+		if iv.MinForPin != pin {
+			continue
+		}
+		if best < 0 || iv.Track < s.Intervals[best].Track {
+			best = ivID
+		}
+	}
+	return best
+}
+
+// Options tunes interval generation.
+type Options struct {
+	// MaxSpanRadius, when positive, clips every pin's generation window
+	// to [pinCenter - r, pinCenter + r] instead of the full net bounding
+	// box — the paper's footnote 1: "we can constrain pin access
+	// interval generation for each pin using an estimated M2 routing
+	// bounding box for its corresponding net, instead of using the net
+	// bounding box", which keeps M2 strips short when M2 routing is not
+	// favoured for long nets.
+	MaxSpanRadius int
+}
+
+// Generate enumerates pin access intervals for the given pins with
+// default options. The track index must be built from the same design.
+func Generate(d *design.Design, idx *design.TrackIndex, pinIDs []int) (*Set, error) {
+	return GenerateWithOptions(d, idx, pinIDs, Options{})
+}
+
+// GenerateWithOptions enumerates pin access intervals for the given pins.
+func GenerateWithOptions(d *design.Design, idx *design.TrackIndex, pinIDs []int, opts Options) (*Set, error) {
+	s := &Set{
+		PinIDs: append([]int(nil), pinIDs...),
+		ByPin:  make(map[int][]int, len(pinIDs)),
+	}
+	sort.Ints(s.PinIDs)
+
+	// Deduplicate on (net, track, span).
+	type key struct {
+		net, track, lo, hi int
+	}
+	seen := make(map[key]int)
+
+	// netBBoxX caches per-net horizontal bounding spans.
+	netBBoxX := make(map[int]geom.Interval)
+	bboxOf := func(netID int) geom.Interval {
+		if iv, ok := netBBoxX[netID]; ok {
+			return iv
+		}
+		iv := d.NetBBox(netID).XSpan()
+		netBBoxX[netID] = iv
+		return iv
+	}
+
+	addInterval := func(netID, track int, span geom.Interval, coveredPins []int, minFor int) {
+		k := key{netID, track, span.Lo, span.Hi}
+		if id, ok := seen[k]; ok {
+			// Merge pin coverage and min marking into the existing copy.
+			iv := &s.Intervals[id]
+			for _, p := range coveredPins {
+				if !iv.Covers(p) {
+					iv.PinIDs = append(iv.PinIDs, p)
+				}
+			}
+			sort.Ints(iv.PinIDs)
+			if minFor >= 0 && iv.MinForPin < 0 {
+				iv.MinForPin = minFor
+			}
+			return
+		}
+		id := len(s.Intervals)
+		pins := append([]int(nil), coveredPins...)
+		sort.Ints(pins)
+		s.Intervals = append(s.Intervals, Interval{
+			ID:        id,
+			NetID:     netID,
+			Track:     track,
+			Span:      span,
+			PinIDs:    pins,
+			MinForPin: minFor,
+		})
+		seen[k] = id
+	}
+
+	for _, pid := range s.PinIDs {
+		if pid < 0 || pid >= len(d.Pins) {
+			return nil, fmt.Errorf("pinaccess: pin ID %d out of range", pid)
+		}
+		pin := &d.Pins[pid]
+		seed := pin.Shape.XSpan()
+		bbox := bboxOf(pin.NetID)
+		if opts.MaxSpanRadius > 0 {
+			c := pin.Shape.CenterX()
+			window := geom.Interval{Lo: c - opts.MaxSpanRadius, Hi: c + opts.MaxSpanRadius}
+			bbox = bbox.Intersect(window).Union(seed)
+		}
+		for t := pin.Shape.Y0; t <= pin.Shape.Y1; t++ {
+			free := idx.FreeSpanAround(t, seed)
+			if free.Empty() {
+				// The pin's own span is blocked on this track; no
+				// interval can cover the pin here.
+				continue
+			}
+			maxSpan := free.Intersect(bbox)
+			if !maxSpan.ContainsInterval(seed) {
+				// Defensive: the bbox always contains the pin, so this
+				// only happens on malformed designs.
+				maxSpan = maxSpan.Union(seed)
+			}
+
+			// Minimum interval (Theorem 1 anchor).
+			addInterval(pin.NetID, t, seed, []int{pid}, pid)
+
+			// Cut-line candidates from diff-net pins on this track.
+			lefts := []int{maxSpan.Lo}
+			rights := []int{maxSpan.Hi}
+			for _, qid := range idx.PinsOnTrack(t) {
+				if qid == pid {
+					continue
+				}
+				q := &d.Pins[qid]
+				if q.NetID == pin.NetID {
+					continue
+				}
+				qs := q.Shape.XSpan()
+				if qs.Hi < seed.Lo && qs.Hi+1 > maxSpan.Lo {
+					lefts = append(lefts, qs.Hi+1)
+				}
+				if qs.Lo > seed.Hi && qs.Lo-1 < maxSpan.Hi {
+					rights = append(rights, qs.Lo-1)
+				}
+			}
+			lefts = dedupInts(lefts)
+			rights = dedupInts(rights)
+
+			for _, lo := range lefts {
+				for _, hi := range rights {
+					span := geom.Interval{Lo: lo, Hi: hi}
+					if span == seed {
+						continue // already added as the minimum interval
+					}
+					covered := coveredPins(d, idx, pin.NetID, t, span)
+					if !containsInt(covered, pid) {
+						// Cannot happen: span contains seed by
+						// construction. Guard anyway.
+						continue
+					}
+					addInterval(pin.NetID, t, span, covered, -1)
+				}
+			}
+		}
+	}
+
+	// Build S_j.
+	for i := range s.Intervals {
+		for _, pid := range s.Intervals[i].PinIDs {
+			s.ByPin[pid] = append(s.ByPin[pid], i)
+		}
+	}
+	for pid, list := range s.ByPin {
+		sort.Ints(list)
+		s.ByPin[pid] = list
+	}
+
+	// Every requested pin must have at least one interval (its minimum);
+	// otherwise the panel is unroutable and Theorem 1 is violated.
+	for _, pid := range s.PinIDs {
+		if len(s.ByPin[pid]) == 0 {
+			return nil, fmt.Errorf("pinaccess: pin %q has no access interval (fully blocked)",
+				d.Pins[pid].Name)
+		}
+	}
+	return s, nil
+}
+
+// coveredPins returns the same-net pins on the track whose spans lie fully
+// inside span.
+func coveredPins(d *design.Design, idx *design.TrackIndex, netID, track int, span geom.Interval) []int {
+	var out []int
+	for _, qid := range idx.PinsOnTrack(track) {
+		q := &d.Pins[qid]
+		if q.NetID != netID {
+			continue
+		}
+		if span.ContainsInterval(q.Shape.XSpan()) {
+			out = append(out, qid)
+		}
+	}
+	return out
+}
+
+func dedupInts(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

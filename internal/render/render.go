@@ -1,0 +1,194 @@
+// Package render draws designs and routing results as SVG or ASCII, for
+// debugging and for inspecting what the optimizer and router actually
+// produced. The SVG shows M1 pins, M2/M3 metal, vias, blockages, and
+// (optionally) the reserved pin access intervals.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cpr/internal/design"
+	"cpr/internal/grid"
+	"cpr/internal/pinaccess"
+	"cpr/internal/router"
+	"cpr/internal/tech"
+)
+
+// palette assigns each net a stable colour.
+var palette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+func netColor(netID int) string { return palette[netID%len(palette)] }
+
+// SVGOptions controls the SVG output.
+type SVGOptions struct {
+	// CellSize is the pixel size of one grid cell (default 8).
+	CellSize int
+	// ShowIntervals draws reserved pin access intervals as translucent
+	// bands when a seed list is provided to SVG.
+	ShowIntervals bool
+}
+
+func (o SVGOptions) withDefaults() SVGOptions {
+	if o.CellSize == 0 {
+		o.CellSize = 8
+	}
+	return o
+}
+
+// Seed couples an interval set with its assignment for rendering.
+type Seed struct {
+	Set   *pinaccess.Set
+	ByPin map[int]int
+}
+
+// SVG writes the design (and, if res is non-nil, its routes) as an SVG
+// document.
+func SVG(w io.Writer, d *design.Design, g *grid.Graph, res *router.Result,
+	seeds []Seed, opts SVGOptions) error {
+
+	opts = opts.withDefaults()
+	cs := opts.CellSize
+	width, height := d.Width*cs, d.Height*cs
+	// SVG y grows downward; flip so track 0 is at the bottom.
+	flipY := func(y int) int { return (d.Height - 1 - y) * cs }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#fcfcfc"/>`+"\n", width, height)
+
+	// Panel boundaries.
+	for p := 0; p <= d.NumPanels(); p++ {
+		y := flipY(p*d.Tech.TracksPerPanel-1) + cs
+		fmt.Fprintf(&b, `<line x1="0" y1="%d" x2="%d" y2="%d" stroke="#dddddd" stroke-width="1"/>`+"\n",
+			y, width, y)
+	}
+
+	// Blockages.
+	for _, bl := range d.Blockages {
+		fill := "#bbbbbb"
+		if bl.Layer == tech.M3 {
+			fill = "#999999"
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.8"/>`+"\n",
+			bl.Shape.X0*cs, flipY(bl.Shape.Y1), bl.Shape.Width()*cs, bl.Shape.Height()*cs, fill)
+	}
+
+	// Reserved intervals (translucent bands under the metal).
+	if opts.ShowIntervals {
+		for _, s := range seeds {
+			drawn := map[int]bool{}
+			for _, ivID := range s.ByPin {
+				if drawn[ivID] {
+					continue
+				}
+				drawn[ivID] = true
+				iv := &s.Set.Intervals[ivID]
+				fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.15"/>`+"\n",
+					iv.Span.Lo*cs, flipY(iv.Track), iv.Span.Len()*cs, cs, netColor(iv.NetID))
+			}
+		}
+	}
+
+	// Pins.
+	for i := range d.Pins {
+		p := &d.Pins[i]
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#333333" stroke-width="0.5"/>`+"\n",
+			p.Shape.X0*cs, flipY(p.Shape.Y1), p.Shape.Width()*cs, p.Shape.Height()*cs, netColor(p.NetID))
+	}
+
+	// Routes: wires as thick lines, vias as circles.
+	if res != nil && g != nil {
+		for netID, nr := range res.Routes {
+			if nr == nil || !nr.Routed {
+				continue
+			}
+			color := netColor(netID)
+			for _, e := range nr.Edges {
+				x1, y1, z1 := g.Coords(e.From)
+				x2, y2, z2 := g.Coords(e.To)
+				cx1, cy1 := x1*cs+cs/2, flipY(y1)+cs/2
+				cx2, cy2 := x2*cs+cs/2, flipY(y2)+cs/2
+				if z1 != z2 {
+					fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="%d" fill="%s" stroke="#222222" stroke-width="0.5"/>`+"\n",
+						cx1, cy1, cs/3, color)
+					continue
+				}
+				dash := ""
+				if z1 == tech.M3 {
+					dash = ` stroke-dasharray="3,2"`
+				}
+				fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="%d"%s/>`+"\n",
+					cx1, cy1, cx2, cy2, color, cs/3, dash)
+			}
+		}
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ASCII renders one panel's M2 occupancy as text: pins as '*', routed M2
+// metal as the net's letter, blockages as '#'.
+func ASCII(w io.Writer, d *design.Design, g *grid.Graph, res *router.Result, panel int) error {
+	lo, hi := d.Tech.PanelTracks(panel)
+	if hi >= d.Height {
+		hi = d.Height - 1
+	}
+	if lo > hi || lo < 0 {
+		return fmt.Errorf("render: panel %d out of range", panel)
+	}
+	rows := make([][]byte, hi-lo+1)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", d.Width))
+	}
+	set := func(x, y int, ch byte) {
+		if y >= lo && y <= hi && x >= 0 && x < d.Width {
+			rows[y-lo][x] = ch
+		}
+	}
+	for _, bl := range d.Blockages {
+		if bl.Layer != tech.M2 {
+			continue
+		}
+		for y := bl.Shape.Y0; y <= bl.Shape.Y1; y++ {
+			for x := bl.Shape.X0; x <= bl.Shape.X1; x++ {
+				set(x, y, '#')
+			}
+		}
+	}
+	if res != nil && g != nil {
+		for netID, nr := range res.Routes {
+			if nr == nil || !nr.Routed {
+				continue
+			}
+			letter := byte('a' + netID%26)
+			for _, id := range nr.Nodes {
+				x, y, z := g.Coords(id)
+				if z == tech.M2 {
+					set(x, y, letter)
+				}
+			}
+		}
+	}
+	for i := range d.Pins {
+		sh := d.Pins[i].Shape
+		for y := sh.Y0; y <= sh.Y1; y++ {
+			for x := sh.X0; x <= sh.X1; x++ {
+				set(x, y, '*')
+			}
+		}
+	}
+	for y := hi; y >= lo; y-- {
+		if _, err := fmt.Fprintf(w, "t%-3d %s\n", y, rows[y-lo]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cpr/internal/assign"
+	"cpr/internal/design"
+	"cpr/internal/geom"
+	"cpr/internal/grid"
+	"cpr/internal/pinaccess"
+	"cpr/internal/router"
+	"cpr/internal/tech"
+)
+
+func fixture(t *testing.T) (*design.Design, *grid.Graph, *router.Result) {
+	t.Helper()
+	d := design.New("render", 30, 10, tech.Default())
+	n := d.AddNet("n")
+	d.AddPin("p0", n, geom.MakeRect(3, 4, 3, 4))
+	d.AddPin("p1", n, geom.MakeRect(24, 4, 24, 4))
+	d.AddBlockage(tech.M2, geom.MakeRect(10, 8, 14, 8))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := grid.New(d)
+	res := router.New(d, g, router.Config{}).Run()
+	if res.RoutedNets != 1 {
+		t.Fatal("fixture net not routed")
+	}
+	return d, g, res
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	d, g, res := fixture(t)
+	var buf bytes.Buffer
+	if err := SVG(&buf, d, g, res, nil, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	for _, want := range []string{"<rect", "<line", "<circle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s elements", want)
+		}
+	}
+	// Two vias on the straight route.
+	if n := strings.Count(out, "<circle"); n != 2 {
+		t.Errorf("got %d via circles, want 2", n)
+	}
+}
+
+func TestSVGWithoutRoutes(t *testing.T) {
+	d, _, _ := fixture(t)
+	var buf bytes.Buffer
+	if err := SVG(&buf, d, nil, nil, nil, SVGOptions{CellSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<rect") {
+		t.Error("pins not drawn")
+	}
+	if strings.Contains(buf.String(), "<circle") {
+		t.Error("vias drawn without routes")
+	}
+}
+
+func TestASCIIPanel(t *testing.T) {
+	d, g, res := fixture(t)
+	var buf bytes.Buffer
+	if err := ASCII(&buf, d, g, res, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("got %d lines, want 10 tracks", len(lines))
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("pins not rendered")
+	}
+	if !strings.Contains(out, "a") {
+		t.Error("route metal not rendered")
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("blockage not rendered")
+	}
+}
+
+func TestASCIIPanelOutOfRange(t *testing.T) {
+	d, g, res := fixture(t)
+	var buf bytes.Buffer
+	if err := ASCII(&buf, d, g, res, 7); err == nil {
+		t.Error("want error for out-of-range panel")
+	}
+}
+
+func TestNetColorsStable(t *testing.T) {
+	if netColor(3) != netColor(3) {
+		t.Error("colors not stable")
+	}
+	if netColor(0) == netColor(1) {
+		t.Error("adjacent nets share a color")
+	}
+}
+
+func TestSVGShowIntervals(t *testing.T) {
+	d := design.New("seeded", 30, 10, tech.Default())
+	n := d.AddNet("n")
+	d.AddPin("p0", n, geom.MakeRect(3, 4, 3, 4))
+	d.AddPin("p1", n, geom.MakeRect(24, 4, 24, 4))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	set, err := pinaccess.Generate(d, d.BuildTrackIndex(), []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := assign.Build(set, assign.SqrtProfit)
+	sol := m.MinimumSolution()
+	var buf bytes.Buffer
+	err = SVG(&buf, d, nil, nil, []Seed{{Set: set, ByPin: sol.ByPin}},
+		SVGOptions{ShowIntervals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `fill-opacity="0.15"`) {
+		t.Error("interval bands not rendered")
+	}
+}

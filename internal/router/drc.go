@@ -1,0 +1,284 @@
+package router
+
+import (
+	"sort"
+
+	"cpr/internal/geom"
+	"cpr/internal/grid"
+	"cpr/internal/tech"
+)
+
+// metalSegment is one maximal unidirectional metal strip of a routed net
+// after line-end extension. For M2 (horizontal), track is the y row and
+// span covers x; for M3 (vertical), track is the x column and span covers
+// y.
+type metalSegment struct {
+	netID int
+	layer int
+	track int
+	span  geom.Interval
+}
+
+// segmentsOf decomposes a route into per-track metal strips on the routing
+// layers, including via-only landings (single-cell strips).
+func (r *Router) segmentsOf(nr *NetRoute) []metalSegment {
+	m2 := make(map[int][]int) // y -> xs
+	m3 := make(map[int][]int) // x -> ys
+	for _, id := range nr.Nodes {
+		x, y, z := r.g.Coords(id)
+		switch z {
+		case tech.M2:
+			m2[y] = append(m2[y], x)
+		case tech.M3:
+			m3[x] = append(m3[x], y)
+		}
+	}
+	var segs []metalSegment
+	for track, cells := range m2 {
+		for _, span := range runs(cells) {
+			segs = append(segs, metalSegment{netID: nr.NetID, layer: tech.M2, track: track, span: span})
+		}
+	}
+	for track, cells := range m3 {
+		for _, span := range runs(cells) {
+			segs = append(segs, metalSegment{netID: nr.NetID, layer: tech.M3, track: track, span: span})
+		}
+	}
+	return segs
+}
+
+// runs converts a cell coordinate multiset into maximal consecutive runs.
+func runs(cells []int) []geom.Interval {
+	if len(cells) == 0 {
+		return nil
+	}
+	sort.Ints(cells)
+	var out []geom.Interval
+	cur := geom.Interval{Lo: cells[0], Hi: cells[0]}
+	for _, c := range cells[1:] {
+		switch {
+		case c == cur.Hi || c == cur.Hi+1:
+			if c > cur.Hi {
+				cur.Hi = c
+			}
+		default:
+			out = append(out, cur)
+			cur = geom.Interval{Lo: c, Hi: c}
+		}
+	}
+	return append(out, cur)
+}
+
+// extend applies the SADP line-end extension and the minimum line length
+// rule, clamped to the grid extent limit (exclusive upper bound).
+func extendSegment(span geom.Interval, ext, minLen, limit int) geom.Interval {
+	span.Lo -= ext
+	span.Hi += ext
+	for span.Len() < minLen {
+		if span.Hi < limit-1 {
+			span.Hi++
+		} else if span.Lo > 0 {
+			span.Lo--
+		} else {
+			break
+		}
+	}
+	if span.Lo < 0 {
+		span.Lo = 0
+	}
+	if span.Hi > limit-1 {
+		span.Hi = limit - 1
+	}
+	return span
+}
+
+// enforceLineEndRules extends every routed net's line-ends and checks
+// line-end spacing between diff-net strips on the same track plus overlap
+// with blockages. Violating nets are first ripped up and rerouted with
+// other nets' extended clearance zones forbidden (the paper's "line-end
+// extensions and rip-up and reroute to accommodate the manufacturing
+// constraints"); nets that still violate are unrouted. Returns the number
+// of nets unrouted.
+func (r *Router) enforceLineEndRules(routes []*NetRoute) int {
+	ext := r.g.Tech.LineEndExtension
+	minLen := r.g.Tech.MinLineLen
+	spacing := r.g.Tech.LineEndSpacing
+
+	limitFor := func(layer int) int {
+		if layer == tech.M2 {
+			return r.d.Width
+		}
+		return r.d.Height
+	}
+
+	// Collect extended segments per (layer, track).
+	type trackKey struct{ layer, track int }
+	build := func() map[trackKey][]metalSegment {
+		byTrack := make(map[trackKey][]metalSegment)
+		for _, nr := range routes {
+			if nr == nil || !nr.Routed {
+				continue
+			}
+			for _, s := range r.segmentsOf(nr) {
+				s.span = extendSegment(s.span, ext, minLen, limitFor(s.layer))
+				k := trackKey{s.layer, s.track}
+				byTrack[k] = append(byTrack[k], s)
+			}
+		}
+		for k := range byTrack {
+			segs := byTrack[k]
+			sort.Slice(segs, func(a, b int) bool {
+				if segs[a].span.Lo != segs[b].span.Lo {
+					return segs[a].span.Lo < segs[b].span.Lo
+				}
+				return segs[a].netID < segs[b].netID
+			})
+			byTrack[k] = segs
+		}
+		return byTrack
+	}
+
+	// violationsPerNet counts line-end spacing and blockage violations.
+	violationsPerNet := func(byTrack map[trackKey][]metalSegment) map[int]int {
+		vio := make(map[int]int)
+		for k, segs := range byTrack {
+			for i := 1; i < len(segs); i++ {
+				a, b := segs[i-1], segs[i]
+				if a.netID == b.netID {
+					continue
+				}
+				gap := b.span.Lo - a.span.Hi - 1
+				if gap < spacing {
+					vio[a.netID]++
+					vio[b.netID]++
+				}
+			}
+			// Blockage overlap on the same layer/track.
+			for _, s := range segs {
+				if r.segmentHitsBlockage(k.layer, k.track, s.span) {
+					vio[s.netID]++
+				}
+			}
+		}
+		return vio
+	}
+
+	// buildAvoid converts the current extended strips into a forbidden
+	// node set with the extra clearance a rerouted net's own extension
+	// will need: other strips are already extended by ext, so adding
+	// (ext + spacing) keeps the final gap >= spacing.
+	buildAvoid := func(byTrack map[trackKey][]metalSegment) map[grid.NodeID]bool {
+		margin := ext + spacing
+		avoid := make(map[grid.NodeID]bool)
+		for k, segs := range byTrack {
+			limit := limitFor(k.layer)
+			for _, s := range segs {
+				lo, hi := s.span.Lo-margin, s.span.Hi+margin
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > limit-1 {
+					hi = limit - 1
+				}
+				for c := lo; c <= hi; c++ {
+					if k.layer == tech.M2 {
+						avoid[r.g.ID(c, k.track, tech.M2)] = true
+					} else {
+						avoid[r.g.ID(k.track, c, tech.M3)] = true
+					}
+				}
+			}
+		}
+		return avoid
+	}
+
+	// Phase 1: rip up and reroute violating nets away from other nets'
+	// clearance zones. Prefer moving nets with larger routes (more room
+	// to detour). A net whose reroute fails keeps its old route and is
+	// not retried.
+	tried := make(map[int]bool)
+	margin := r.cfg.WindowMargin + r.cfg.WindowGrowth*(r.cfg.MaxNegotiationIters+1)
+	maxRounds := 2 * len(routes)
+	if maxRounds > 200 {
+		maxRounds = 200
+	}
+	for round := 0; round < maxRounds; round++ {
+		vio := violationsPerNet(build())
+		if len(vio) == 0 {
+			return 0
+		}
+		pick := -1
+		for netID := range vio {
+			if tried[netID] {
+				continue
+			}
+			if pick < 0 ||
+				len(routes[netID].Nodes) > len(routes[pick].Nodes) ||
+				(len(routes[netID].Nodes) == len(routes[pick].Nodes) && netID > pick) {
+				pick = netID
+			}
+		}
+		if pick < 0 {
+			break // every violating net already tried
+		}
+		tried[pick] = true
+		old := *routes[pick]
+		r.release(routes[pick])
+		routes[pick].Routed = false
+		r.avoid = buildAvoid(build())
+		rerouted := r.routeNet(pick, r.cfg.PresentCostBase, margin)
+		r.avoid = nil
+		if rerouted.Routed {
+			*routes[pick] = *rerouted
+			r.occupy(routes[pick])
+		} else {
+			*routes[pick] = old
+			r.occupy(routes[pick])
+		}
+	}
+
+	// Phase 2: drop nets that still violate, most-violating first.
+	dropped := 0
+	for iter := 0; iter < len(routes); iter++ {
+		vio := violationsPerNet(build())
+		if len(vio) == 0 {
+			break
+		}
+		worst, worstCount := -1, 0
+		for netID, count := range vio {
+			if count > worstCount || (count == worstCount && netID > worst) {
+				worst, worstCount = netID, count
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		r.release(routes[worst])
+		routes[worst].Routed = false
+		routes[worst].FailReason = "drc"
+		routes[worst].Nodes = nil
+		routes[worst].Edges = nil
+		routes[worst].Virtual = nil
+		dropped++
+	}
+	return dropped
+}
+
+// segmentHitsBlockage reports whether an extended strip overlaps a design
+// blockage cell on its layer.
+func (r *Router) segmentHitsBlockage(layer, track int, span geom.Interval) bool {
+	if layer == tech.M2 {
+		for x := span.Lo; x <= span.Hi; x++ {
+			if r.g.Blocked(r.g.ID(x, track, tech.M2)) {
+				return true
+			}
+		}
+		return false
+	}
+	for y := span.Lo; y <= span.Hi; y++ {
+		if r.g.Blocked(r.g.ID(track, y, tech.M3)) {
+			return true
+		}
+	}
+	return false
+}

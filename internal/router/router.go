@@ -1,0 +1,617 @@
+// Package router implements the negotiation-congestion-based
+// unidirectional detailed router used by CPR (paper §4) and by the
+// "routing w/o pin access optimization" baseline of [21].
+//
+// The router follows the PathFinder paradigm: an initial independent
+// routing stage where nets are routed with congestion visible but not
+// prohibitive, followed by rip-up-and-reroute iterations in which present
+// congestion penalties ramp up and overused grid nodes accumulate history
+// cost. Pins and seeded pin access intervals of other nets are hard
+// blockages during each net's search, exactly as the paper prescribes.
+//
+// After negotiation, metal line-ends are extended for SADP cut mask
+// friendliness and checked against line-end spacing and minimum-length
+// rules; nets whose extensions violate the rules are treated as unrouted
+// (paper §5: "We treat those nets introducing violations as unrouted").
+package router
+
+import (
+	"sort"
+	"time"
+
+	"cpr/internal/assign"
+	"cpr/internal/design"
+	"cpr/internal/grid"
+	"cpr/internal/pinaccess"
+	"cpr/internal/tech"
+)
+
+// NetOrder selects the order nets are (re)routed in.
+type NetOrder int
+
+const (
+	// OrderHPWLAsc routes short nets first (default; they have the least
+	// detour flexibility).
+	OrderHPWLAsc NetOrder = iota
+	// OrderHPWLDesc routes long nets first.
+	OrderHPWLDesc
+	// OrderByID routes nets in declaration order.
+	OrderByID
+	// OrderByPins routes high-fanout nets first.
+	OrderByPins
+)
+
+func (o NetOrder) String() string {
+	switch o {
+	case OrderHPWLDesc:
+		return "hpwl-desc"
+	case OrderByID:
+		return "id"
+	case OrderByPins:
+		return "pins"
+	default:
+		return "hpwl-asc"
+	}
+}
+
+// Config tunes the negotiation router. Zero values take defaults.
+type Config struct {
+	// Order selects the net routing order (default OrderHPWLAsc).
+	Order NetOrder
+
+	// MaxNegotiationIters bounds rip-up-and-reroute rounds (default 12).
+	MaxNegotiationIters int
+	// PresentCostBase is the congestion penalty factor in the first
+	// negotiation round (default 2).
+	PresentCostBase float64
+	// PresentCostGrowth multiplies the penalty each round (default 1.6).
+	PresentCostGrowth float64
+	// HistoryIncrement is added to every overused node per round
+	// (default 1).
+	HistoryIncrement float64
+	// WindowMargin is the base search window expansion around the net
+	// bounding box (default 8).
+	WindowMargin int
+	// WindowGrowth widens the window per negotiation round (default 4).
+	WindowGrowth int
+	// MaxWindowMargin caps window growth (default 32).
+	MaxWindowMargin int
+	// StallRounds stops negotiation after this many rounds without
+	// overuse improvement; the residue is resolved by unrouting
+	// (default 3).
+	StallRounds int
+	// SkipDRC disables the line-end extension / design rule stage
+	// (used to measure raw negotiated routability).
+	SkipDRC bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxNegotiationIters == 0 {
+		c.MaxNegotiationIters = 12
+	}
+	if c.PresentCostBase == 0 {
+		c.PresentCostBase = 2
+	}
+	if c.PresentCostGrowth == 0 {
+		c.PresentCostGrowth = 1.6
+	}
+	if c.HistoryIncrement == 0 {
+		c.HistoryIncrement = 1
+	}
+	if c.WindowMargin == 0 {
+		c.WindowMargin = 8
+	}
+	if c.WindowGrowth == 0 {
+		c.WindowGrowth = 4
+	}
+	if c.MaxWindowMargin == 0 {
+		c.MaxWindowMargin = 32
+	}
+	if c.StallRounds == 0 {
+		c.StallRounds = 3
+	}
+	return c
+}
+
+// NetRoute is the routing outcome for one net.
+type NetRoute struct {
+	NetID int
+	// Nodes are the unique grid nodes of the route tree.
+	Nodes []grid.NodeID
+	// Edges are the tree edges (wires and vias), canonical order.
+	Edges []grid.Edge
+	// Virtual are the line-end clearance cells beyond each metal strip
+	// end (extension plus half the spacing rule). They carry occupancy —
+	// so negotiation spaces line-ends apart — but are not metal: they
+	// contribute neither wirelength nor vias.
+	Virtual []grid.NodeID
+	// Routed reports whether the net is connected and rule-clean.
+	Routed bool
+	// FailReason explains an unrouted net ("", "search", "congestion",
+	// "drc").
+	FailReason string
+}
+
+// Vias counts via edges in the route.
+func (nr *NetRoute) Vias(g *grid.Graph) int {
+	n := 0
+	for _, e := range nr.Edges {
+		if g.IsVia(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Wirelength counts wire (non-via) edges in the route.
+func (nr *NetRoute) Wirelength(g *grid.Graph) int {
+	n := 0
+	for _, e := range nr.Edges {
+		if !g.IsVia(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Result is the outcome of a full routing run.
+type Result struct {
+	// Routes is indexed by net ID.
+	Routes []*NetRoute
+	// RoutedNets counts rule-clean connected nets.
+	RoutedNets int
+	// Vias and Wirelength aggregate over routed nets only.
+	Vias       int
+	Wirelength int
+	// InitialCongested is the number of congested grids after the
+	// independent routing stage, before any rip-up (Figure 7(b) metric).
+	InitialCongested int
+	// InitialCongestedByLayer breaks InitialCongested down per layer.
+	InitialCongestedByLayer [tech.NumLayers]int
+	// NegotiationIters is the number of rip-up rounds executed.
+	NegotiationIters int
+	// CongestionUnrouted counts nets dropped to resolve residual overuse.
+	CongestionUnrouted int
+	// DRCUnrouted counts nets dropped by the line-end rule check.
+	DRCUnrouted int
+	// Elapsed is the wall-clock routing time.
+	Elapsed time.Duration
+	// StageElapsed breaks Elapsed into the independent routing, rip-up
+	// negotiation, congestion resolution, and DRC stages.
+	StageElapsed [4]time.Duration
+}
+
+// Router routes one design on one grid. Create with New, optionally seed
+// pin access intervals with SeedAssignment, then call Run.
+type Router struct {
+	d   *design.Design
+	g   *grid.Graph
+	cfg Config
+
+	// seeded interval cells per net (for release/bookkeeping).
+	seededNodes map[int][]grid.NodeID
+
+	// lastRoutes is the route table of the in-progress Run, used by
+	// chargeHistory to walk occupied nodes.
+	lastRoutes []*NetRoute
+
+	// avoid holds temporarily forbidden nodes during DRC-aware reroutes
+	// (other nets' extended line-end clearance zones); nil outside the
+	// DRC stage.
+	avoid map[grid.NodeID]bool
+}
+
+// New creates a router over a validated design and its grid.
+func New(d *design.Design, g *grid.Graph, cfg Config) *Router {
+	return &Router{d: d, g: g, cfg: cfg.withDefaults(), seededNodes: make(map[int][]grid.NodeID)}
+}
+
+// SeedAssignment reserves the assigned pin access intervals on the grid as
+// net-owned partial routes. The assignment must be conflict-free (the
+// output of the ILP or LR optimizer); overlapping reservations panic.
+func (r *Router) SeedAssignment(set *pinaccess.Set, sol *assign.Solution) {
+	seen := make(map[int]bool)
+	for _, ivID := range sol.ByPin {
+		if seen[ivID] {
+			continue
+		}
+		seen[ivID] = true
+		iv := &set.Intervals[ivID]
+		for x := iv.Span.Lo; x <= iv.Span.Hi; x++ {
+			id := r.g.ID(x, iv.Track, tech.M2)
+			r.g.SetOwner(id, iv.NetID)
+			r.seededNodes[iv.NetID] = append(r.seededNodes[iv.NetID], id)
+		}
+	}
+}
+
+// Run executes the full negotiation routing flow.
+func (r *Router) Run() *Result {
+	start := time.Now()
+	res := &Result{Routes: make([]*NetRoute, len(r.d.Nets))}
+	r.lastRoutes = res.Routes
+
+	order := r.netOrder()
+
+	// Stage 1: independent routing. Congestion is visible at zero present
+	// penalty, so nets route as if alone (other nets' pins/intervals are
+	// still hard blockages).
+	t0 := time.Now()
+	for _, netID := range order {
+		nr := r.routeNet(netID, 0, r.cfg.WindowMargin)
+		res.Routes[netID] = nr
+		r.occupy(nr)
+	}
+	res.InitialCongested = r.g.CongestedCount()
+	res.InitialCongestedByLayer = r.g.CongestedByLayer()
+	res.StageElapsed[0] = time.Since(t0)
+	t0 = time.Now()
+
+	// Stage 2: rip-up and reroute with ramping penalties. Negotiation
+	// stops early once the overuse count stalls: the surviving conflicts
+	// are structural (e.g. physically incompatible line-ends) and are
+	// resolved by unrouting in stage 3.
+	presFac := r.cfg.PresentCostBase
+	bestOveruse := 1 << 30
+	stall := 0
+	for iter := 1; iter <= r.cfg.MaxNegotiationIters; iter++ {
+		over := r.g.OverusedCount()
+		if over == 0 {
+			break
+		}
+		if over < bestOveruse {
+			bestOveruse = over
+			stall = 0
+		} else {
+			stall++
+			if stall >= r.cfg.StallRounds {
+				break
+			}
+		}
+		res.NegotiationIters = iter
+		r.chargeHistory()
+		margin := r.cfg.WindowMargin + r.cfg.WindowGrowth*iter
+		if margin > r.cfg.MaxWindowMargin {
+			margin = r.cfg.MaxWindowMargin
+		}
+		for _, netID := range order {
+			nr := res.Routes[netID]
+			if nr.Routed && !r.usesOverused(nr) {
+				continue
+			}
+			r.release(nr)
+			newRoute := r.routeNet(netID, presFac, margin)
+			res.Routes[netID] = newRoute
+			r.occupy(newRoute)
+		}
+		presFac *= r.cfg.PresentCostGrowth
+	}
+	res.StageElapsed[1] = time.Since(t0)
+	t0 = time.Now()
+
+	// Stage 3: resolve residual congestion by unrouting offenders.
+	res.CongestionUnrouted = r.resolveCongestion(res.Routes)
+	res.StageElapsed[2] = time.Since(t0)
+	t0 = time.Now()
+
+	// Stage 4: line-end extension and design rule check.
+	if !r.cfg.SkipDRC {
+		res.DRCUnrouted = r.enforceLineEndRules(res.Routes)
+	}
+	res.StageElapsed[3] = time.Since(t0)
+
+	for _, nr := range res.Routes {
+		if nr.Routed {
+			res.RoutedNets++
+			res.Vias += nr.Vias(r.g)
+			res.Wirelength += nr.Wirelength(r.g)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// netOrder returns net IDs in the configured routing order, breaking ties
+// by ID for determinism.
+func (r *Router) netOrder() []int {
+	order := make([]int, len(r.d.Nets))
+	key := make([]int, len(r.d.Nets))
+	for i := range order {
+		order[i] = i
+		switch r.cfg.Order {
+		case OrderHPWLDesc:
+			key[i] = -r.d.HPWL(i)
+		case OrderByID:
+			key[i] = 0
+		case OrderByPins:
+			key[i] = -len(r.d.Nets[i].PinIDs)
+		default:
+			key[i] = r.d.HPWL(i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if key[order[a]] != key[order[b]] {
+			return key[order[a]] < key[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// routeNet connects all pins of a net with sequential multi-source
+// shortest-path searches. presFac scales the congestion penalty; margin
+// expands the search window beyond the net bounding box.
+func (r *Router) routeNet(netID int, presFac float64, margin int) *NetRoute {
+	nr := &NetRoute{NetID: netID}
+	pins := r.d.Nets[netID].PinIDs
+	if len(pins) == 0 {
+		nr.Routed = true
+		return nr
+	}
+
+	// Order pins left to right for a stable, roughly monotone build.
+	ordered := append([]int(nil), pins...)
+	sort.Slice(ordered, func(a, b int) bool {
+		pa, pb := &r.d.Pins[ordered[a]], &r.d.Pins[ordered[b]]
+		if pa.Shape.X0 != pb.Shape.X0 {
+			return pa.Shape.X0 < pb.Shape.X0
+		}
+		return pa.Shape.Y0 < pb.Shape.Y0
+	})
+
+	r.restoreSeeds(netID)
+	win := r.window(netID, margin)
+	treeSet := make(map[grid.NodeID]bool)
+	addNode := func(id grid.NodeID) {
+		if !treeSet[id] {
+			treeSet[id] = true
+			nr.Nodes = append(nr.Nodes, id)
+		}
+	}
+	for _, cell := range r.pinCells(ordered[0]) {
+		addNode(cell)
+	}
+	if len(ordered) == 1 {
+		nr.Routed = true
+		return nr
+	}
+
+	for _, pid := range ordered[1:] {
+		targets := make(map[grid.NodeID]bool)
+		already := false
+		for _, cell := range r.pinCells(pid) {
+			if treeSet[cell] {
+				already = true
+				break
+			}
+			targets[cell] = true
+		}
+		if already {
+			continue
+		}
+		path, ok := r.search(netID, nr.Nodes, targets, win, presFac)
+		if !ok {
+			nr.Routed = false
+			nr.FailReason = "search"
+			nr.Nodes = nil
+			nr.Edges = nil
+			nr.Virtual = nil
+			return nr
+		}
+		for i, id := range path {
+			addNode(id)
+			if i > 0 {
+				nr.Edges = append(nr.Edges, grid.MakeEdge(path[i-1], id))
+			}
+		}
+	}
+	nr.Routed = true
+	r.computeVirtual(nr)
+	return nr
+}
+
+// pinCells returns the grid nodes of a pin's M1 shape.
+func (r *Router) pinCells(pid int) []grid.NodeID {
+	sh := r.d.Pins[pid].Shape
+	cells := make([]grid.NodeID, 0, sh.Area())
+	for y := sh.Y0; y <= sh.Y1; y++ {
+		for x := sh.X0; x <= sh.X1; x++ {
+			cells = append(cells, r.g.ID(x, y, tech.M1))
+		}
+	}
+	return cells
+}
+
+// window computes the clamped search window for a net.
+func (r *Router) window(netID, margin int) searchWindow {
+	box := r.d.NetBBox(netID).Expand(margin)
+	if box.X0 < 0 {
+		box.X0 = 0
+	}
+	if box.Y0 < 0 {
+		box.Y0 = 0
+	}
+	if box.X1 >= r.d.Width {
+		box.X1 = r.d.Width - 1
+	}
+	if box.Y1 >= r.d.Height {
+		box.Y1 = r.d.Height - 1
+	}
+	return searchWindow{x0: box.X0, y0: box.Y0, w: box.Width(), h: box.Height()}
+}
+
+// clearanceMargin is the number of cells beyond each strip end treated as
+// occupied: the line-end extension plus half the spacing rule (rounded
+// up), so two nets whose clearance cells do not collide always satisfy
+// gap >= 2*ext + spacing after extension.
+func (r *Router) clearanceMargin() int {
+	return r.g.Tech.LineEndExtension + (r.g.Tech.LineEndSpacing+1)/2
+}
+
+// computeVirtual fills nr.Virtual with the clearance cells at every strip
+// end (skipping cells already part of the route).
+func (r *Router) computeVirtual(nr *NetRoute) {
+	nr.Virtual = nr.Virtual[:0]
+	margin := r.clearanceMargin()
+	if margin == 0 {
+		return
+	}
+	inRoute := make(map[grid.NodeID]bool, len(nr.Nodes))
+	for _, id := range nr.Nodes {
+		inRoute[id] = true
+	}
+	add := func(id grid.NodeID) {
+		if !inRoute[id] {
+			inRoute[id] = true
+			nr.Virtual = append(nr.Virtual, id)
+		}
+	}
+	for _, s := range r.segmentsOf(nr) {
+		limit := r.d.Width
+		if s.layer == tech.M3 {
+			limit = r.d.Height
+		}
+		for m := 1; m <= margin; m++ {
+			for _, c := range []int{s.span.Lo - m, s.span.Hi + m} {
+				if c < 0 || c > limit-1 {
+					continue
+				}
+				if s.layer == tech.M2 {
+					add(r.g.ID(c, s.track, tech.M2))
+				} else {
+					add(r.g.ID(s.track, c, tech.M3))
+				}
+			}
+		}
+	}
+}
+
+// occupy registers a routed net's nodes (and clearance cells) on the grid
+// and trims the net's unused interval reservation so other nets can use
+// the freed cells (the reservation is restored if the net is ripped up).
+func (r *Router) occupy(nr *NetRoute) {
+	if !nr.Routed {
+		return
+	}
+	for _, id := range nr.Nodes {
+		r.g.Occupy(id)
+	}
+	for _, id := range nr.Virtual {
+		r.g.OccupyVirtual(id)
+	}
+	r.trimSeeds(nr)
+}
+
+// trimSeeds releases seeded interval cells the final route does not use.
+func (r *Router) trimSeeds(nr *NetRoute) {
+	seeds := r.seededNodes[nr.NetID]
+	if len(seeds) == 0 {
+		return
+	}
+	inRoute := make(map[grid.NodeID]bool, len(nr.Nodes))
+	for _, id := range nr.Nodes {
+		inRoute[id] = true
+	}
+	for _, id := range seeds {
+		if !inRoute[id] && r.g.Owner(id) == nr.NetID {
+			r.g.ClearOwner(id)
+		}
+	}
+}
+
+// restoreSeeds best-effort re-reserves a ripped net's assigned interval
+// cells (skipping cells meanwhile taken by other nets).
+func (r *Router) restoreSeeds(netID int) {
+	for _, id := range r.seededNodes[netID] {
+		if r.g.Owner(id) == -1 && r.g.Occupancy(id) == 0 && !r.g.Blocked(id) {
+			r.g.SetOwner(id, netID)
+		}
+	}
+}
+
+// release removes a net's occupancy.
+func (r *Router) release(nr *NetRoute) {
+	if !nr.Routed {
+		return
+	}
+	for _, id := range nr.Nodes {
+		r.g.Release(id)
+	}
+	for _, id := range nr.Virtual {
+		r.g.ReleaseVirtual(id)
+	}
+}
+
+// usesOverused reports whether the route crosses any congested node.
+func (r *Router) usesOverused(nr *NetRoute) bool {
+	for _, id := range nr.Nodes {
+		if r.g.Overused(id) {
+			return true
+		}
+	}
+	for _, id := range nr.Virtual {
+		if r.g.Overused(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// chargeHistory adds history cost to every currently overused node.
+func (r *Router) chargeHistory() {
+	for _, nr := range r.lastRoutes {
+		if nr == nil || !nr.Routed {
+			continue
+		}
+		for _, id := range nr.Nodes {
+			if r.g.Overused(id) {
+				r.g.AddHistory(id, r.cfg.HistoryIncrement)
+			}
+		}
+		for _, id := range nr.Virtual {
+			if r.g.Overused(id) {
+				r.g.AddHistory(id, r.cfg.HistoryIncrement)
+			}
+		}
+	}
+}
+
+// resolveCongestion unroutes nets until no node is overused: repeatedly
+// drop the net crossing the most overused nodes. Returns the number of
+// nets dropped.
+func (r *Router) resolveCongestion(routes []*NetRoute) int {
+	dropped := 0
+	for r.g.OverusedCount() > 0 {
+		worst, worstCount := -1, 0
+		for netID, nr := range routes {
+			if !nr.Routed {
+				continue
+			}
+			count := 0
+			for _, id := range nr.Nodes {
+				if r.g.Overused(id) {
+					count++
+				}
+			}
+			for _, id := range nr.Virtual {
+				if r.g.Overused(id) {
+					count++
+				}
+			}
+			if count > worstCount {
+				worst, worstCount = netID, count
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		r.release(routes[worst])
+		routes[worst].Routed = false
+		routes[worst].FailReason = "congestion"
+		routes[worst].Nodes = nil
+		routes[worst].Edges = nil
+		routes[worst].Virtual = nil
+		dropped++
+	}
+	return dropped
+}

@@ -1,0 +1,209 @@
+package router
+
+import (
+	"container/heap"
+	"math"
+
+	"cpr/internal/grid"
+	"cpr/internal/tech"
+)
+
+// searchWindow restricts a net's search to a rectangle around its bounding
+// box. All three layers inside the rectangle are searchable.
+type searchWindow struct {
+	x0, y0 int
+	w, h   int
+}
+
+func (sw searchWindow) contains(x, y int) bool {
+	return x >= sw.x0 && x < sw.x0+sw.w && y >= sw.y0 && y < sw.y0+sw.h
+}
+
+// local converts grid coordinates to a window-local dense index.
+func (sw searchWindow) local(x, y, z int) int {
+	return (z*sw.h+(y-sw.y0))*sw.w + (x - sw.x0)
+}
+
+func (sw searchWindow) size() int { return sw.w * sw.h * tech.NumLayers }
+
+// pqItem is a priority queue entry (lazy-deletion Dijkstra).
+type pqItem struct {
+	dist float64
+	node int // window-local index
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// search runs multi-source Dijkstra from the tree nodes to any target
+// node, restricted to the window and to nodes enterable by netID. The
+// node cost combines the technology edge cost with PathFinder history and
+// present congestion penalties. It returns the path from a source to the
+// reached target (inclusive).
+func (r *Router) search(netID int, sources []grid.NodeID, targets map[grid.NodeID]bool,
+	win searchWindow, presFac float64) ([]grid.NodeID, bool) {
+
+	if len(targets) == 0 {
+		return nil, false
+	}
+	size := win.size()
+	dist := make([]float64, size)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	prev := make([]int32, size)
+	for i := range prev {
+		prev[i] = -1
+	}
+	toGlobal := make([]grid.NodeID, size)
+
+	q := make(pq, 0, 64)
+	push := func(id grid.NodeID, li int, d float64, from int32) {
+		if d >= dist[li] {
+			return
+		}
+		dist[li] = d
+		prev[li] = from
+		toGlobal[li] = id
+		heap.Push(&q, pqItem{dist: d, node: li})
+	}
+
+	for _, s := range sources {
+		x, y, z := r.g.Coords(s)
+		if !win.contains(x, y) {
+			continue
+		}
+		if !r.g.Enterable(s, netID) {
+			continue
+		}
+		li := win.local(x, y, z)
+		push(s, li, 0, -2) // -2 marks a source
+	}
+	if q.Len() == 0 {
+		return nil, false
+	}
+	heap.Init(&q)
+
+	// nodeCost is the congestion-aware cost of entering a node. For wire
+	// cells it also prices the occupancy of cells within the line-end
+	// clearance margin along the track direction: a path that stops near
+	// another net's strip will overlap it with its own clearance cells,
+	// and pricing the neighbourhood is what lets negotiation discover
+	// that before the overlap materializes.
+	margin := r.clearanceMargin()
+	nodeCost := func(id grid.NodeID, x, y, z int) float64 {
+		c := r.g.History(id)
+		if presFac <= 0 {
+			return c
+		}
+		if occ := r.g.Occupancy(id); occ > 0 {
+			c += presFac * float64(occ)
+		}
+		switch z {
+		case tech.M2:
+			for m := 1; m <= margin; m++ {
+				if x-m >= 0 {
+					if occ := r.g.Occupancy(r.g.ID(x-m, y, tech.M2)); occ > 0 {
+						c += 0.5 * presFac * float64(occ)
+					}
+				}
+				if x+m < r.g.W {
+					if occ := r.g.Occupancy(r.g.ID(x+m, y, tech.M2)); occ > 0 {
+						c += 0.5 * presFac * float64(occ)
+					}
+				}
+			}
+		case tech.M3:
+			for m := 1; m <= margin; m++ {
+				if y-m >= 0 {
+					if occ := r.g.Occupancy(r.g.ID(x, y-m, tech.M3)); occ > 0 {
+						c += 0.5 * presFac * float64(occ)
+					}
+				}
+				if y+m < r.g.H {
+					if occ := r.g.Occupancy(r.g.ID(x, y+m, tech.M3)); occ > 0 {
+						c += 0.5 * presFac * float64(occ)
+					}
+				}
+			}
+		}
+		return c
+	}
+
+	var goal int32 = -1
+	for q.Len() > 0 {
+		item := heap.Pop(&q).(pqItem)
+		li := item.node
+		if item.dist > dist[li] {
+			continue // stale entry
+		}
+		id := toGlobal[li]
+		if targets[id] {
+			goal = int32(li)
+			break
+		}
+		x, y, z := r.g.Coords(id)
+
+		relax := func(nx, ny, nz int, edgeCost int) {
+			if !win.contains(nx, ny) {
+				return
+			}
+			nid := r.g.ID(nx, ny, nz)
+			if !r.g.Enterable(nid, netID) {
+				return
+			}
+			if r.avoid != nil && r.avoid[nid] {
+				return
+			}
+			nli := win.local(nx, ny, nz)
+			nd := item.dist + float64(edgeCost) + nodeCost(nid, nx, ny, nz)
+			push(nid, nli, nd, int32(li))
+		}
+
+		base := r.g.Tech.BaseCost
+		switch z {
+		case tech.M1:
+			relax(x, y, tech.M2, r.g.ViaCost(x, y, 0))
+		case tech.M2:
+			relax(x-1, y, tech.M2, base)
+			relax(x+1, y, tech.M2, base)
+			relax(x, y, tech.M1, r.g.ViaCost(x, y, 0))
+			relax(x, y, tech.M3, r.g.ViaCost(x, y, 1))
+		case tech.M3:
+			relax(x, y-1, tech.M3, base)
+			relax(x, y+1, tech.M3, base)
+			relax(x, y, tech.M2, r.g.ViaCost(x, y, 1))
+		}
+	}
+	if goal < 0 {
+		return nil, false
+	}
+
+	// Walk back to the source.
+	var rev []grid.NodeID
+	for cur := goal; cur >= 0; {
+		rev = append(rev, toGlobal[cur])
+		p := prev[cur]
+		if p == -2 {
+			break
+		}
+		cur = p
+	}
+	// Reverse into source->target order.
+	path := make([]grid.NodeID, len(rev))
+	for i, id := range rev {
+		path[len(rev)-1-i] = id
+	}
+	return path, true
+}

@@ -1,0 +1,336 @@
+// Package synth generates synthetic standard-cell designs that stand in
+// for the paper's benchmark circuits (ecc, efc, ctl, alu, div, top from
+// reference [12]), which are not publicly available.
+//
+// The generator reproduces the characteristics the paper's metrics depend
+// on: row-based placement with 10 M2 tracks per standard cell row, short
+// local nets of two to four M1 pins (vertical bars crossing one to three
+// tracks), realistic pin density, and a sprinkling of pre-routed M2
+// blockages. Net counts and die extents follow Table 2 of the paper at a
+// resolution of 10 grid units per micron (one cell row per micron of die
+// height). Generation is fully deterministic per (spec, seed).
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cpr/internal/design"
+	"cpr/internal/geom"
+	"cpr/internal/tech"
+)
+
+// Spec parameterizes one synthetic circuit.
+type Spec struct {
+	// Name labels the design (Table 2 circuit name for the presets).
+	Name string
+	// Nets is the target net count.
+	Nets int
+	// Width and Height are the grid extents (20 units per micron).
+	Width, Height int
+	// Seed drives the deterministic generator.
+	Seed int64
+	// BlockageFraction is the approximate fraction of M2 area covered by
+	// pre-routed blockages (default 0.02).
+	BlockageFraction float64
+	// MaxNetSpan bounds the pin spread of a net in grid units
+	// (default 24, matching the paper's short local nets).
+	MaxNetSpan int
+	// NoPowerRails disables the power/ground rail blockages on the first
+	// and last track of every panel (rails are on by default: a design
+	// "with synthesized power/ground rails is inherently separated into
+	// panels", paper §3).
+	NoPowerRails bool
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.BlockageFraction == 0 {
+		s.BlockageFraction = 0.02
+	}
+	if s.MaxNetSpan == 0 {
+		s.MaxNetSpan = 24
+	}
+	return s
+}
+
+// TableSpecs returns the six circuits of the paper's Table 2. Net counts
+// are the paper's; die areas are calibrated to a constant routable pin
+// density (~0.024 pins per grid cell, the density at which circuits land
+// in the paper's 93-97% routability regime) rather than mapped directly
+// from the published micron extents, because the synthetic cells do not
+// share the real libraries' utilization.
+func TableSpecs() []Spec {
+	return []Spec{
+		{Name: "ecc", Nets: 1671, Width: 420, Height: 420, Seed: 101},
+		{Name: "efc", Nets: 2219, Width: 500, Height: 470, Seed: 102},
+		{Name: "ctl", Nets: 2706, Width: 540, Height: 530, Seed: 103},
+		{Name: "alu", Nets: 3108, Width: 590, Height: 560, Seed: 104},
+		{Name: "div", Nets: 5813, Width: 790, Height: 780, Seed: 105},
+		{Name: "top", Nets: 22201, Width: 1540, Height: 1520, Seed: 106},
+	}
+}
+
+// SpecByName returns the Table 2 spec with the given name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range TableSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("synth: unknown circuit %q (want one of ecc efc ctl alu div top)", name)
+}
+
+// Generate builds the synthetic design for a spec. The result is
+// validated before return.
+func Generate(spec Spec) (*design.Design, error) {
+	spec = spec.withDefaults()
+	if spec.Nets <= 0 || spec.Width <= 0 || spec.Height <= 0 {
+		return nil, fmt.Errorf("synth: invalid spec %+v", spec)
+	}
+	t := tech.Default()
+	d := design.New(spec.Name, spec.Width, spec.Height, t)
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	occupied := newOccupancy(spec.Width, spec.Height)
+	panels := spec.Height / t.TracksPerPanel
+	if panels == 0 {
+		panels = 1
+	}
+
+	// Power/ground rails: the first and last M2 track of every panel are
+	// pre-routed, leaving 8 of 10 tracks for signal routing (pins are
+	// placed on interior tracks only).
+	if !spec.NoPowerRails {
+		for panel := 0; panel < panels; panel++ {
+			lo, hi := t.PanelTracks(panel)
+			if hi >= spec.Height {
+				hi = spec.Height - 1
+			}
+			for _, y := range []int{lo, hi} {
+				sh := geom.MakeRect(0, y, spec.Width-1, y)
+				d.AddBlockage(tech.M2, sh)
+				occupied.claim(sh, 0)
+			}
+		}
+	}
+
+	for netIdx := 0; netIdx < spec.Nets; netIdx++ {
+		if !placeNet(d, rng, occupied, spec, panels, netIdx) {
+			return nil, fmt.Errorf("synth: could not place net %d of %d (density too high for %dx%d grid)",
+				netIdx, spec.Nets, spec.Width, spec.Height)
+		}
+	}
+	placeBlockages(d, rng, occupied, spec)
+
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated design invalid: %w", err)
+	}
+	return d, nil
+}
+
+// MustGenerate is Generate that panics on error, for tests and examples.
+func MustGenerate(spec Spec) *design.Design {
+	d, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// occupancy is a per-cell usage bitmap with a one-cell guard ring around
+// every pin so neighbouring pins never touch.
+type occupancy struct {
+	w, h  int
+	cells []bool
+}
+
+func newOccupancy(w, h int) *occupancy {
+	return &occupancy{w: w, h: h, cells: make([]bool, w*h)}
+}
+
+func (o *occupancy) fits(r geom.Rect) bool {
+	if r.X0 < 0 || r.Y0 < 0 || r.X1 >= o.w || r.Y1 >= o.h {
+		return false
+	}
+	for y := r.Y0; y <= r.Y1; y++ {
+		for x := r.X0; x <= r.X1; x++ {
+			if o.cells[y*o.w+x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (o *occupancy) claim(r geom.Rect, guard int) {
+	g := r.Expand(guard)
+	if g.X0 < 0 {
+		g.X0 = 0
+	}
+	if g.Y0 < 0 {
+		g.Y0 = 0
+	}
+	if g.X1 >= o.w {
+		g.X1 = o.w - 1
+	}
+	if g.Y1 >= o.h {
+		g.Y1 = o.h - 1
+	}
+	for y := g.Y0; y <= g.Y1; y++ {
+		for x := g.X0; x <= g.X1; x++ {
+			o.cells[y*o.w+x] = true
+		}
+	}
+}
+
+// placeNet places one net: an anchor cell plus one to three more pins in
+// a local neighbourhood, biased to the anchor's panel.
+func placeNet(d *design.Design, rng *rand.Rand, occ *occupancy, spec Spec, panels, netIdx int) bool {
+	t := d.Tech
+	degree := pinDegree(rng)
+	const maxAttempts = 400
+
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		panel := rng.Intn(panels)
+		trackLo, trackHi := t.PanelTracks(panel)
+		if trackHi >= spec.Height {
+			trackHi = spec.Height - 1
+		}
+		anchorX := rng.Intn(spec.Width)
+		shapes := make([]geom.Rect, 0, degree)
+		ok := true
+		for p := 0; p < degree; p++ {
+			sh, placed := placePin(rng, occ, shapes, spec, anchorX, trackLo, trackHi, panels, t)
+			if !placed {
+				ok = false
+				break
+			}
+			shapes = append(shapes, sh)
+		}
+		if !ok {
+			continue // retry with a fresh anchor; nothing was claimed
+		}
+		netID := d.AddNet(fmt.Sprintf("n%d", netIdx))
+		for p, sh := range shapes {
+			d.AddPin(fmt.Sprintf("n%d_p%d", netIdx, p), netID, sh)
+			occ.claim(sh, 1)
+		}
+		return true
+	}
+	return false
+}
+
+// pinDegree samples the pins-per-net distribution: 60% two-pin, 30%
+// three-pin, 10% four-pin (mean 2.5, matching short standard cell nets).
+func pinDegree(rng *rand.Rand) int {
+	switch v := rng.Float64(); {
+	case v < 0.6:
+		return 2
+	case v < 0.9:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// placePin finds a free shape near anchorX, usually inside the anchor
+// panel (80%) and otherwise in an adjacent panel (short vertical nets).
+// The shape must clear both the global occupancy and the sibling shapes
+// already chosen for the same net (with a one-cell guard).
+func placePin(rng *rand.Rand, occ *occupancy, siblings []geom.Rect, spec Spec, anchorX, trackLo, trackHi, panels int, t *tech.Technology) (geom.Rect, bool) {
+	for attempt := 0; attempt < 60; attempt++ {
+		x := anchorX + rng.Intn(2*spec.MaxNetSpan+1) - spec.MaxNetSpan
+		lo, hi := trackLo, trackHi
+		if rng.Float64() < 0.2 && panels > 1 {
+			// Adjacent panel.
+			panel := t.PanelOfTrack(trackLo)
+			if panel == 0 || (panel < panels-1 && rng.Intn(2) == 0) {
+				panel++
+			} else {
+				panel--
+			}
+			lo, hi = t.PanelTracks(panel)
+		}
+		if hi >= spec.Height {
+			hi = spec.Height - 1
+		}
+		if lo > hi {
+			continue
+		}
+		// M1 pins are vertical bars: 1 column wide, 1-3 tracks tall
+		// (standard cell pins cross up to a few routing tracks, which
+		// is what gives the optimizer track choices; cf. paper Fig. 3).
+		height := 1 + rng.Intn(3)
+		y0 := lo + rng.Intn(hi-lo+1)
+		y1 := y0 + height - 1
+		if y1 > hi {
+			y1 = hi
+		}
+		sh := geom.MakeRect(x, y0, x, y1)
+		if !occ.fits(sh) {
+			continue
+		}
+		clear := true
+		for _, sib := range siblings {
+			if sib.Expand(1).Overlaps(sh) {
+				clear = false
+				break
+			}
+		}
+		if clear {
+			return sh, true
+		}
+	}
+	return geom.Rect{}, false
+}
+
+// placeBlockages adds random single-track M2 pre-route blockages away
+// from pins until the target area fraction is reached.
+func placeBlockages(d *design.Design, rng *rand.Rand, occ *occupancy, spec Spec) {
+	target := int(spec.BlockageFraction * float64(spec.Width) * float64(spec.Height))
+	covered := 0
+	for attempt := 0; attempt < 20*spec.Nets && covered < target; attempt++ {
+		x := rng.Intn(spec.Width)
+		y := rng.Intn(spec.Height)
+		length := 3 + rng.Intn(6)
+		sh := geom.MakeRect(x, y, minInt(x+length-1, spec.Width-1), y)
+		if !occ.fits(sh) {
+			continue
+		}
+		occ.claim(sh, 0)
+		d.AddBlockage(tech.M2, sh)
+		covered += sh.Area()
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SweepSpec builds a single-panel-rows design sized to hold roughly
+// targetPins pins at the Table 2 density, for the Figure 6 scalability
+// sweeps. The mean net degree is 2.5 pins.
+func SweepSpec(targetPins int, seed int64) Spec {
+	nets := targetPins * 2 / 5 // pins / 2.5
+	if nets < 1 {
+		nets = 1
+	}
+	// Keep the Table 2 pin density of about 0.024 pins per cell.
+	area := float64(targetPins) / 0.024
+	width := 1
+	for width*width < int(area) {
+		width++
+	}
+	// Round height to whole panels.
+	height := (width/10 + 1) * 10
+	return Spec{
+		Name:   fmt.Sprintf("sweep%d", targetPins),
+		Nets:   nets,
+		Width:  width,
+		Height: height,
+		Seed:   seed,
+	}
+}

@@ -1,0 +1,156 @@
+package synth
+
+import (
+	"testing"
+
+	"cpr/internal/tech"
+)
+
+func TestTableSpecsMatchPaper(t *testing.T) {
+	specs := TableSpecs()
+	if len(specs) != 6 {
+		t.Fatalf("got %d specs, want 6", len(specs))
+	}
+	wantNets := map[string]int{
+		"ecc": 1671, "efc": 2219, "ctl": 2706, "alu": 3108, "div": 5813, "top": 22201,
+	}
+	for _, s := range specs {
+		if wantNets[s.Name] != s.Nets {
+			t.Errorf("%s: nets = %d, want %d (paper Table 2)", s.Name, s.Nets, wantNets[s.Name])
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("alu")
+	if err != nil || s.Nets != 3108 {
+		t.Errorf("SpecByName(alu) = %+v, %v", s, err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Error("want error for unknown circuit")
+	}
+}
+
+func TestGenerateSmallCircuit(t *testing.T) {
+	spec := Spec{Name: "mini", Nets: 50, Width: 60, Height: 40, Seed: 1}
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Nets) != 50 {
+		t.Errorf("nets = %d, want 50", len(d.Nets))
+	}
+	st := d.ComputeStats()
+	if st.AvgDegree < 2.0 || st.AvgDegree > 3.2 {
+		t.Errorf("avg degree = %g, want around 2.5", st.AvgDegree)
+	}
+	if st.Panels != 4 {
+		t.Errorf("panels = %d, want 4", st.Panels)
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	spec := Spec{Name: "det", Nets: 40, Width: 60, Height: 40, Seed: 7}
+	a := MustGenerate(spec)
+	b := MustGenerate(spec)
+	if len(a.Pins) != len(b.Pins) || len(a.Blockages) != len(b.Blockages) {
+		t.Fatal("same seed produced different structure")
+	}
+	for i := range a.Pins {
+		if a.Pins[i].Shape != b.Pins[i].Shape || a.Pins[i].NetID != b.Pins[i].NetID {
+			t.Fatalf("pin %d differs between runs", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := MustGenerate(Spec{Name: "s1", Nets: 40, Width: 60, Height: 40, Seed: 1})
+	b := MustGenerate(Spec{Name: "s2", Nets: 40, Width: 60, Height: 40, Seed: 2})
+	same := true
+	for i := range a.Pins {
+		if i >= len(b.Pins) || a.Pins[i].Shape != b.Pins[i].Shape {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical placements")
+	}
+}
+
+func TestNetsAreLocal(t *testing.T) {
+	spec := Spec{Name: "local", Nets: 80, Width: 100, Height: 50, Seed: 3}
+	d := MustGenerate(spec)
+	maxSpan := spec.withDefaults().MaxNetSpan
+	for i := range d.Nets {
+		box := d.NetBBox(i)
+		if box.Width()-1 > 2*maxSpan {
+			t.Errorf("net %d spans %d columns, want <= %d", i, box.Width()-1, 2*maxSpan)
+		}
+	}
+}
+
+func TestBlockagesAvoidPins(t *testing.T) {
+	d := MustGenerate(Spec{Name: "blk", Nets: 60, Width: 80, Height: 40, Seed: 9, BlockageFraction: 0.05})
+	if len(d.Blockages) == 0 {
+		t.Fatal("no blockages generated")
+	}
+	for _, b := range d.Blockages {
+		if b.Layer != tech.M2 {
+			t.Errorf("blockage on layer %d, want M2", b.Layer)
+		}
+		for i := range d.Pins {
+			if d.Pins[i].Shape.Overlaps(b.Shape) {
+				t.Fatalf("blockage %v overlaps pin %q", b.Shape, d.Pins[i].Name)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsImpossibleDensity(t *testing.T) {
+	// 1000 nets cannot fit on a 10x10 grid.
+	if _, err := Generate(Spec{Name: "dense", Nets: 1000, Width: 10, Height: 10, Seed: 1}); err == nil {
+		t.Error("want density error")
+	}
+}
+
+func TestGenerateRejectsInvalidSpec(t *testing.T) {
+	if _, err := Generate(Spec{Name: "bad", Nets: 0, Width: 10, Height: 10}); err == nil {
+		t.Error("want error for zero nets")
+	}
+}
+
+func TestSweepSpecScaling(t *testing.T) {
+	for _, pins := range []int{100, 1000, 6000} {
+		spec := SweepSpec(pins, 42)
+		d, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("SweepSpec(%d): %v", pins, err)
+		}
+		got := len(d.Pins)
+		if got < pins*6/10 || got > pins*14/10 {
+			t.Errorf("SweepSpec(%d) produced %d pins, want within 40%%", pins, got)
+		}
+		if d.Height%10 != 0 {
+			t.Errorf("SweepSpec(%d) height %d not whole panels", pins, d.Height)
+		}
+	}
+}
+
+func TestTableCircuitsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 2 generation in -short mode")
+	}
+	for _, spec := range TableSpecs() {
+		if spec.Name == "top" && testing.Short() {
+			continue
+		}
+		d, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(d.Nets) != spec.Nets {
+			t.Errorf("%s: generated %d nets, want %d", spec.Name, len(d.Nets), spec.Nets)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package tech defines the technology description used by the pin access
+// optimizer and the unidirectional router: routing layers with preferred
+// directions, track organization, SADP-motivated line-end rules, and the
+// grid cost parameters from the paper's experimental setup (DAC'17 §5).
+package tech
+
+import "fmt"
+
+// Dir is the preferred routing direction of a layer.
+type Dir int
+
+const (
+	// DirNone marks a non-routing layer (M1 carries pins only).
+	DirNone Dir = iota
+	// DirHorizontal marks a layer whose wires run along x.
+	DirHorizontal
+	// DirVertical marks a layer whose wires run along y.
+	DirVertical
+)
+
+func (d Dir) String() string {
+	switch d {
+	case DirHorizontal:
+		return "horizontal"
+	case DirVertical:
+		return "vertical"
+	default:
+		return "none"
+	}
+}
+
+// Layer indices for the three-metal stack used throughout the
+// reproduction. Vias V1 (M1-M2) and V2 (M2-M3) connect adjacent layers.
+const (
+	M1 = 0
+	M2 = 1
+	M3 = 2
+
+	// NumLayers is the size of the metal stack.
+	NumLayers = 3
+)
+
+// Layer describes a single routing layer.
+type Layer struct {
+	Name  string
+	Index int
+	Dir   Dir
+}
+
+// Technology bundles every technology-dependent parameter. The zero value
+// is not usable; construct with Default or fill every field.
+type Technology struct {
+	// Layers is the metal stack, indexed by layer constants M1..M3.
+	Layers [NumLayers]Layer
+
+	// TracksPerPanel is the number of M2 routing tracks per standard cell
+	// row. The paper uses a 10-track panel ("one standard cell row (10 x
+	// M2 tracks) is one routing panel").
+	TracksPerPanel int
+
+	// BaseCost is the grid cost of using one metal grid edge (paper: 1).
+	BaseCost int
+
+	// ViaCost is the grid cost of a via grid (paper: base cost 1).
+	ViaCost int
+
+	// ForbiddenViaCost is the extra cost assigned to via grids that would
+	// violate design rules (paper: 10). The router uses it to steer away
+	// from rule-violating via positions instead of hard-blocking them.
+	ForbiddenViaCost int
+
+	// LineEndExtension is the number of grid units a wire line-end is
+	// extended to guarantee patterning-friendly cut masks.
+	LineEndExtension int
+
+	// MinLineLen is the minimum length (grid points) of a metal strip on
+	// a unidirectional layer; shorter strips are unprintable under SADP.
+	MinLineLen int
+
+	// LineEndSpacing is the minimum number of free grid points between
+	// two line-ends on the same track (cut mask spacing rule).
+	LineEndSpacing int
+
+	// LRIterationBound is the Lagrangian relaxation iteration upper
+	// bound UB (paper: 200).
+	LRIterationBound int
+
+	// LRAlpha is the subgradient step exponent alpha in t_k = L_m / k^alpha
+	// (paper: 0.95).
+	LRAlpha float64
+}
+
+// Default returns the technology configuration matching the paper's
+// experimental setup in §5.
+func Default() *Technology {
+	return &Technology{
+		Layers: [NumLayers]Layer{
+			{Name: "M1", Index: M1, Dir: DirNone},
+			{Name: "M2", Index: M2, Dir: DirHorizontal},
+			{Name: "M3", Index: M3, Dir: DirVertical},
+		},
+		TracksPerPanel:   10,
+		BaseCost:         1,
+		ViaCost:          1,
+		ForbiddenViaCost: 10,
+		LineEndExtension: 1,
+		MinLineLen:       2,
+		LineEndSpacing:   1,
+		LRIterationBound: 200,
+		LRAlpha:          0.95,
+	}
+}
+
+// Validate checks the technology for internal consistency.
+func (t *Technology) Validate() error {
+	if t.TracksPerPanel <= 0 {
+		return fmt.Errorf("tech: TracksPerPanel must be positive, got %d", t.TracksPerPanel)
+	}
+	if t.BaseCost <= 0 {
+		return fmt.Errorf("tech: BaseCost must be positive, got %d", t.BaseCost)
+	}
+	if t.ViaCost <= 0 {
+		return fmt.Errorf("tech: ViaCost must be positive, got %d", t.ViaCost)
+	}
+	if t.ForbiddenViaCost < t.ViaCost {
+		return fmt.Errorf("tech: ForbiddenViaCost (%d) must be >= ViaCost (%d)",
+			t.ForbiddenViaCost, t.ViaCost)
+	}
+	if t.LineEndExtension < 0 {
+		return fmt.Errorf("tech: LineEndExtension must be non-negative, got %d", t.LineEndExtension)
+	}
+	if t.MinLineLen < 1 {
+		return fmt.Errorf("tech: MinLineLen must be >= 1, got %d", t.MinLineLen)
+	}
+	if t.LineEndSpacing < 0 {
+		return fmt.Errorf("tech: LineEndSpacing must be non-negative, got %d", t.LineEndSpacing)
+	}
+	if t.LRIterationBound <= 0 {
+		return fmt.Errorf("tech: LRIterationBound must be positive, got %d", t.LRIterationBound)
+	}
+	if t.LRAlpha <= 0 || t.LRAlpha > 1 {
+		return fmt.Errorf("tech: LRAlpha must be in (0,1], got %g", t.LRAlpha)
+	}
+	for i, l := range t.Layers {
+		if l.Index != i {
+			return fmt.Errorf("tech: layer %q has index %d, want %d", l.Name, l.Index, i)
+		}
+	}
+	if t.Layers[M1].Dir != DirNone {
+		return fmt.Errorf("tech: M1 must be a non-routing layer")
+	}
+	if t.Layers[M2].Dir == DirNone || t.Layers[M3].Dir == DirNone {
+		return fmt.Errorf("tech: M2 and M3 must be routing layers")
+	}
+	if t.Layers[M2].Dir == t.Layers[M3].Dir {
+		return fmt.Errorf("tech: M2 and M3 must route in perpendicular directions")
+	}
+	return nil
+}
+
+// LayerDir returns the preferred direction of layer z, or DirNone for
+// out-of-range layers.
+func (t *Technology) LayerDir(z int) Dir {
+	if z < 0 || z >= NumLayers {
+		return DirNone
+	}
+	return t.Layers[z].Dir
+}
+
+// PanelOfTrack returns the panel index containing global M2 track y.
+func (t *Technology) PanelOfTrack(y int) int {
+	if y < 0 {
+		return -1
+	}
+	return y / t.TracksPerPanel
+}
+
+// PanelTracks returns the inclusive global track range [lo, hi] of panel p.
+func (t *Technology) PanelTracks(p int) (lo, hi int) {
+	lo = p * t.TracksPerPanel
+	return lo, lo + t.TracksPerPanel - 1
+}

@@ -1,0 +1,111 @@
+package tech
+
+import "testing"
+
+func TestDefaultIsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default technology invalid: %v", err)
+	}
+}
+
+func TestDefaultMatchesPaperSetup(t *testing.T) {
+	d := Default()
+	if d.BaseCost != 1 {
+		t.Errorf("BaseCost = %d, want 1 (paper §5)", d.BaseCost)
+	}
+	if d.ViaCost != 1 {
+		t.Errorf("ViaCost = %d, want 1 (paper §5)", d.ViaCost)
+	}
+	if d.ForbiddenViaCost != 10 {
+		t.Errorf("ForbiddenViaCost = %d, want 10 (paper §5)", d.ForbiddenViaCost)
+	}
+	if d.TracksPerPanel != 10 {
+		t.Errorf("TracksPerPanel = %d, want 10 (paper §5)", d.TracksPerPanel)
+	}
+	if d.LRIterationBound != 200 {
+		t.Errorf("LRIterationBound = %d, want 200 (paper §5)", d.LRIterationBound)
+	}
+	if d.LRAlpha != 0.95 {
+		t.Errorf("LRAlpha = %g, want 0.95 (paper §3.4)", d.LRAlpha)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Technology)
+	}{
+		{"zero tracks", func(c *Technology) { c.TracksPerPanel = 0 }},
+		{"zero base cost", func(c *Technology) { c.BaseCost = 0 }},
+		{"zero via cost", func(c *Technology) { c.ViaCost = 0 }},
+		{"forbidden below via", func(c *Technology) { c.ForbiddenViaCost = 0 }},
+		{"negative line end ext", func(c *Technology) { c.LineEndExtension = -1 }},
+		{"zero min line len", func(c *Technology) { c.MinLineLen = 0 }},
+		{"negative line end spacing", func(c *Technology) { c.LineEndSpacing = -1 }},
+		{"zero LR bound", func(c *Technology) { c.LRIterationBound = 0 }},
+		{"alpha too large", func(c *Technology) { c.LRAlpha = 1.5 }},
+		{"alpha zero", func(c *Technology) { c.LRAlpha = 0 }},
+		{"bad layer index", func(c *Technology) { c.Layers[M2].Index = 5 }},
+		{"M1 routable", func(c *Technology) { c.Layers[M1].Dir = DirHorizontal }},
+		{"M2 non-routing", func(c *Technology) { c.Layers[M2].Dir = DirNone }},
+		{"parallel M2/M3", func(c *Technology) { c.Layers[M3].Dir = DirHorizontal }},
+	}
+	for _, m := range mutations {
+		cfg := Default()
+		m.mut(cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", m.name)
+		}
+	}
+}
+
+func TestPanelOfTrack(t *testing.T) {
+	d := Default() // 10 tracks per panel
+	cases := []struct{ y, want int }{
+		{0, 0}, {9, 0}, {10, 1}, {19, 1}, {20, 2}, {-1, -1},
+	}
+	for _, c := range cases {
+		if got := d.PanelOfTrack(c.y); got != c.want {
+			t.Errorf("PanelOfTrack(%d) = %d, want %d", c.y, got, c.want)
+		}
+	}
+}
+
+func TestPanelTracksRoundTrip(t *testing.T) {
+	d := Default()
+	for p := 0; p < 5; p++ {
+		lo, hi := d.PanelTracks(p)
+		if hi-lo+1 != d.TracksPerPanel {
+			t.Errorf("panel %d has %d tracks, want %d", p, hi-lo+1, d.TracksPerPanel)
+		}
+		for y := lo; y <= hi; y++ {
+			if d.PanelOfTrack(y) != p {
+				t.Errorf("PanelOfTrack(%d) = %d, want %d", y, d.PanelOfTrack(y), p)
+			}
+		}
+	}
+}
+
+func TestLayerDir(t *testing.T) {
+	d := Default()
+	if d.LayerDir(M1) != DirNone {
+		t.Error("M1 should be non-routing")
+	}
+	if d.LayerDir(M2) != DirHorizontal {
+		t.Error("M2 should be horizontal")
+	}
+	if d.LayerDir(M3) != DirVertical {
+		t.Error("M3 should be vertical")
+	}
+	if d.LayerDir(-1) != DirNone || d.LayerDir(99) != DirNone {
+		t.Error("out-of-range layers should report DirNone")
+	}
+}
+
+func TestDirString(t *testing.T) {
+	if DirHorizontal.String() != "horizontal" ||
+		DirVertical.String() != "vertical" ||
+		DirNone.String() != "none" {
+		t.Error("Dir.String values wrong")
+	}
+}

@@ -1,0 +1,290 @@
+// Package verify independently checks routing results: it re-derives
+// connectivity, exclusivity, and design-rule compliance from the raw route
+// edges, without trusting any of the router's own bookkeeping. The test
+// suites use it as the ground-truth oracle for every routing flow.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"cpr/internal/design"
+	"cpr/internal/geom"
+	"cpr/internal/grid"
+	"cpr/internal/router"
+	"cpr/internal/tech"
+)
+
+// Report is the outcome of verifying one routing result.
+type Report struct {
+	// Errors lists every violation found (empty means clean).
+	Errors []string
+	// CheckedNets is the number of routed nets examined.
+	CheckedNets int
+}
+
+// Ok reports whether the result verified clean.
+func (r *Report) Ok() bool { return len(r.Errors) == 0 }
+
+func (r *Report) addf(format string, args ...interface{}) {
+	r.Errors = append(r.Errors, fmt.Sprintf(format, args...))
+}
+
+// Check verifies a routing result against its design:
+//
+//  1. every routed net's edges form a connected graph touching every pin
+//     of the net;
+//  2. every edge is geometrically valid: unit-length wire steps in the
+//     layer's preferred direction, or vias between adjacent layers;
+//  3. no metal node is used by two different routed nets, no metal node
+//     lies on a design blockage, and M1 is entered only over own pins;
+//  4. after line-end extension, strips of different nets on the same
+//     track respect the line-end spacing rule and the minimum line
+//     length (reported as rule errors).
+func Check(d *design.Design, g *grid.Graph, res *router.Result) *Report {
+	rep := &Report{}
+	nodeUser := make(map[grid.NodeID]int)
+
+	for netID, nr := range res.Routes {
+		if nr == nil || !nr.Routed {
+			continue
+		}
+		rep.CheckedNets++
+		checkNet(d, g, netID, nr, nodeUser, rep)
+	}
+	checkLineEnds(d, g, res, rep)
+	return rep
+}
+
+// checkNet validates one net's tree and registers its metal nodes.
+func checkNet(d *design.Design, g *grid.Graph, netID int, nr *router.NetRoute,
+	nodeUser map[grid.NodeID]int, rep *Report) {
+
+	name := d.Nets[netID].Name
+
+	// Edge geometry and adjacency structure.
+	adj := make(map[grid.NodeID][]grid.NodeID)
+	addAdj := func(a, b grid.NodeID) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	nodesInEdges := make(map[grid.NodeID]bool)
+	for _, e := range nr.Edges {
+		x1, y1, z1 := g.Coords(e.From)
+		x2, y2, z2 := g.Coords(e.To)
+		switch {
+		case z1 == z2 && z1 == tech.M2 && y1 == y2 && abs(x1-x2) == 1:
+		case z1 == z2 && z1 == tech.M3 && x1 == x2 && abs(y1-y2) == 1:
+		case x1 == x2 && y1 == y2 && abs(z1-z2) == 1:
+		default:
+			rep.addf("net %s: invalid edge (%d,%d,L%d)-(%d,%d,L%d)",
+				name, x1, y1, z1, x2, y2, z2)
+			continue
+		}
+		addAdj(e.From, e.To)
+		nodesInEdges[e.From] = true
+		nodesInEdges[e.To] = true
+	}
+
+	// Node list must cover the edge endpoints.
+	nodeSet := make(map[grid.NodeID]bool, len(nr.Nodes))
+	for _, id := range nr.Nodes {
+		nodeSet[id] = true
+	}
+	for id := range nodesInEdges {
+		if !nodeSet[id] {
+			x, y, z := g.Coords(id)
+			rep.addf("net %s: edge endpoint (%d,%d,L%d) missing from node list", name, x, y, z)
+		}
+	}
+
+	// Exclusivity, blockages, and M1 discipline.
+	for _, id := range nr.Nodes {
+		x, y, z := g.Coords(id)
+		if g.Blocked(id) {
+			rep.addf("net %s: metal on blocked cell (%d,%d,L%d)", name, x, y, z)
+		}
+		if z == tech.M1 {
+			if own := g.Owner(id); own != netID {
+				rep.addf("net %s: M1 cell (%d,%d) not its own pin (owner %d)", name, x, y, own)
+			}
+		}
+		if prev, ok := nodeUser[id]; ok && prev != netID {
+			rep.addf("net %s: metal cell (%d,%d,L%d) shared with net %s",
+				name, x, y, z, d.Nets[prev].Name)
+		}
+		nodeUser[id] = netID
+	}
+
+	// Connectivity: every pin reachable from the first pin's cells.
+	pins := d.Nets[netID].PinIDs
+	if len(pins) <= 1 {
+		return
+	}
+	// Union nodes connected by edges; pin cells participate via identity.
+	visited := make(map[grid.NodeID]bool)
+	var stack []grid.NodeID
+	seed := pinCells(d, g, pins[0])
+	for _, c := range seed {
+		if nodeSet[c] {
+			stack = append(stack, c)
+			visited[c] = true
+		}
+	}
+	if len(stack) == 0 {
+		rep.addf("net %s: route does not touch pin %s", name, d.Pins[pins[0]].Name)
+		return
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range adj[cur] {
+			if !visited[nb] {
+				visited[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	for _, pid := range pins[1:] {
+		touched := false
+		for _, c := range pinCells(d, g, pid) {
+			if visited[c] {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			rep.addf("net %s: pin %s not connected", name, d.Pins[pid].Name)
+		}
+	}
+}
+
+// checkLineEnds re-derives per-track metal strips from all routed nets and
+// validates the SADP line-end rules.
+func checkLineEnds(d *design.Design, g *grid.Graph, res *router.Result, rep *Report) {
+	t := d.Tech
+	type stripKey struct{ layer, track int }
+	type strip struct {
+		net  int
+		span geom.Interval
+	}
+	byTrack := make(map[stripKey][]strip)
+
+	for netID, nr := range res.Routes {
+		if nr == nil || !nr.Routed {
+			continue
+		}
+		m2 := make(map[int][]int)
+		m3 := make(map[int][]int)
+		for _, id := range nr.Nodes {
+			x, y, z := g.Coords(id)
+			switch z {
+			case tech.M2:
+				m2[y] = append(m2[y], x)
+			case tech.M3:
+				m3[x] = append(m3[x], y)
+			}
+		}
+		for track, cells := range m2 {
+			for _, span := range cellRuns(cells) {
+				byTrack[stripKey{tech.M2, track}] = append(byTrack[stripKey{tech.M2, track}],
+					strip{netID, extended(span, t, d.Width)})
+			}
+		}
+		for track, cells := range m3 {
+			for _, span := range cellRuns(cells) {
+				byTrack[stripKey{tech.M3, track}] = append(byTrack[stripKey{tech.M3, track}],
+					strip{netID, extended(span, t, d.Height)})
+			}
+		}
+	}
+
+	for key, strips := range byTrack {
+		sort.Slice(strips, func(a, b int) bool {
+			if strips[a].span.Lo != strips[b].span.Lo {
+				return strips[a].span.Lo < strips[b].span.Lo
+			}
+			return strips[a].net < strips[b].net
+		})
+		for i := 1; i < len(strips); i++ {
+			a, b := strips[i-1], strips[i]
+			if a.net == b.net {
+				continue
+			}
+			gap := b.span.Lo - a.span.Hi - 1
+			if gap < t.LineEndSpacing {
+				rep.addf("line-end spacing violation on layer %d track %d between nets %s and %s (gap %d < %d)",
+					key.layer, key.track, d.Nets[a.net].Name, d.Nets[b.net].Name,
+					gap, t.LineEndSpacing)
+			}
+		}
+		for _, s := range strips {
+			if s.span.Len() < t.MinLineLen {
+				rep.addf("minimum line length violation on layer %d track %d net %s (len %d < %d)",
+					key.layer, key.track, d.Nets[s.net].Name, s.span.Len(), t.MinLineLen)
+			}
+		}
+	}
+}
+
+// extended applies line-end extension and minimum-length growth (matching
+// the router's extension policy) for rule checking.
+func extended(span geom.Interval, t *tech.Technology, limit int) geom.Interval {
+	span.Lo -= t.LineEndExtension
+	span.Hi += t.LineEndExtension
+	for span.Len() < t.MinLineLen {
+		if span.Hi < limit-1 {
+			span.Hi++
+		} else if span.Lo > 0 {
+			span.Lo--
+		} else {
+			break
+		}
+	}
+	if span.Lo < 0 {
+		span.Lo = 0
+	}
+	if span.Hi > limit-1 {
+		span.Hi = limit - 1
+	}
+	return span
+}
+
+func cellRuns(cells []int) []geom.Interval {
+	if len(cells) == 0 {
+		return nil
+	}
+	sort.Ints(cells)
+	var out []geom.Interval
+	cur := geom.Interval{Lo: cells[0], Hi: cells[0]}
+	for _, c := range cells[1:] {
+		switch {
+		case c == cur.Hi || c == cur.Hi+1:
+			if c > cur.Hi {
+				cur.Hi = c
+			}
+		default:
+			out = append(out, cur)
+			cur = geom.Interval{Lo: c, Hi: c}
+		}
+	}
+	return append(out, cur)
+}
+
+func pinCells(d *design.Design, g *grid.Graph, pid int) []grid.NodeID {
+	sh := d.Pins[pid].Shape
+	var cells []grid.NodeID
+	for y := sh.Y0; y <= sh.Y1; y++ {
+		for x := sh.X0; x <= sh.X1; x++ {
+			cells = append(cells, g.ID(x, y, tech.M1))
+		}
+	}
+	return cells
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,173 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"cpr/internal/core"
+	"cpr/internal/design"
+	"cpr/internal/geom"
+	"cpr/internal/grid"
+	"cpr/internal/router"
+	"cpr/internal/synth"
+	"cpr/internal/tech"
+)
+
+func routed(t *testing.T, d *design.Design, cfg router.Config) (*grid.Graph, *router.Result) {
+	t.Helper()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := grid.New(d)
+	return g, router.New(d, g, cfg).Run()
+}
+
+func TestCleanResultVerifies(t *testing.T) {
+	d := design.New("clean", 30, 10, tech.Default())
+	n := d.AddNet("n")
+	d.AddPin("p0", n, geom.MakeRect(3, 4, 3, 4))
+	d.AddPin("p1", n, geom.MakeRect(24, 4, 24, 4))
+	g, res := routed(t, d, router.Config{})
+	rep := Check(d, g, res)
+	if !rep.Ok() {
+		t.Fatalf("clean route flagged: %v", rep.Errors)
+	}
+	if rep.CheckedNets != 1 {
+		t.Errorf("checked %d nets, want 1", rep.CheckedNets)
+	}
+}
+
+func TestDetectsDisconnectedRoute(t *testing.T) {
+	d := design.New("disc", 30, 10, tech.Default())
+	n := d.AddNet("n")
+	d.AddPin("p0", n, geom.MakeRect(3, 4, 3, 4))
+	d.AddPin("p1", n, geom.MakeRect(24, 4, 24, 4))
+	g, res := routed(t, d, router.Config{})
+	// Cut the route: drop half its edges.
+	nr := res.Routes[0]
+	nr.Edges = nr.Edges[:len(nr.Edges)/2]
+	rep := Check(d, g, res)
+	if rep.Ok() {
+		t.Fatal("disconnected route not flagged")
+	}
+	found := false
+	for _, e := range rep.Errors {
+		if strings.Contains(e, "not connected") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected connectivity error, got %v", rep.Errors)
+	}
+}
+
+func TestDetectsSharedMetal(t *testing.T) {
+	d := design.New("shared", 30, 10, tech.Default())
+	n0 := d.AddNet("a")
+	n1 := d.AddNet("b")
+	d.AddPin("a0", n0, geom.MakeRect(3, 2, 3, 2))
+	d.AddPin("a1", n0, geom.MakeRect(24, 2, 24, 2))
+	d.AddPin("b0", n1, geom.MakeRect(3, 7, 3, 7))
+	d.AddPin("b1", n1, geom.MakeRect(24, 7, 24, 7))
+	g, res := routed(t, d, router.Config{})
+	if res.RoutedNets != 2 {
+		t.Skip("fixture did not route both nets")
+	}
+	// Corrupt: graft one of net b's nodes into net a.
+	res.Routes[0].Nodes = append(res.Routes[0].Nodes, res.Routes[1].Nodes[2])
+	rep := Check(d, g, res)
+	ok := false
+	for _, e := range rep.Errors {
+		if strings.Contains(e, "shared with") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("expected shared-metal error, got %v", rep.Errors)
+	}
+}
+
+func TestDetectsInvalidEdge(t *testing.T) {
+	d := design.New("edge", 30, 10, tech.Default())
+	n := d.AddNet("n")
+	d.AddPin("p0", n, geom.MakeRect(3, 4, 3, 4))
+	d.AddPin("p1", n, geom.MakeRect(24, 4, 24, 4))
+	g, res := routed(t, d, router.Config{})
+	// Append a diagonal "edge".
+	res.Routes[0].Edges = append(res.Routes[0].Edges,
+		grid.MakeEdge(g.ID(1, 1, tech.M2), g.ID(2, 2, tech.M2)))
+	rep := Check(d, g, res)
+	ok := false
+	for _, e := range rep.Errors {
+		if strings.Contains(e, "invalid edge") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("expected invalid-edge error, got %v", rep.Errors)
+	}
+}
+
+func TestDetectsLineEndViolation(t *testing.T) {
+	d := design.New("le", 30, 10, tech.Default())
+	n0 := d.AddNet("a")
+	n1 := d.AddNet("b")
+	d.AddPin("a0", n0, geom.MakeRect(2, 4, 2, 4))
+	d.AddPin("a1", n0, geom.MakeRect(10, 4, 10, 4))
+	d.AddPin("b0", n1, geom.MakeRect(18, 4, 18, 4))
+	d.AddPin("b1", n1, geom.MakeRect(27, 4, 27, 4))
+	g, res := routed(t, d, router.Config{})
+	if res.RoutedNets != 2 {
+		t.Skip("fixture did not route both nets")
+	}
+	// Corrupt net a: extend its strip toward net b by claiming extra
+	// cells on the track, closing the gap below the rule.
+	nr := res.Routes[0]
+	prev := g.ID(10, 4, tech.M2)
+	for x := 11; x <= 15; x++ {
+		id := g.ID(x, 4, tech.M2)
+		nr.Nodes = append(nr.Nodes, id)
+		nr.Edges = append(nr.Edges, grid.MakeEdge(prev, id))
+		prev = id
+	}
+	rep := Check(d, g, res)
+	ok := false
+	for _, e := range rep.Errors {
+		if strings.Contains(e, "line-end spacing violation") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("expected line-end violation, got %v", rep.Errors)
+	}
+}
+
+// TestAllFlowsVerifyClean is the oracle test: every flow's output on a
+// realistic circuit must verify clean (connectivity, exclusivity, and
+// line-end rules re-derived independently).
+func TestAllFlowsVerifyClean(t *testing.T) {
+	spec := synth.Spec{Name: "verify", Nets: 250, Width: 260, Height: 120, Seed: 13}
+	for _, mode := range []core.Mode{core.ModeCPR, core.ModeNoPinOpt, core.ModeSequential} {
+		d, err := synth.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(d, core.Options{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild an untouched grid for geometry lookups: the router's
+		// grid still works, but Check only needs coordinates/blockage,
+		// which are immutable.
+		g := grid.New(d)
+		rep := Check(d, g, res.Router)
+		if !rep.Ok() {
+			max := len(rep.Errors)
+			if max > 5 {
+				max = 5
+			}
+			t.Errorf("%v: %d violations, first %d: %v",
+				mode, len(rep.Errors), max, rep.Errors[:max])
+		}
+	}
+}

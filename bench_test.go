@@ -35,6 +35,11 @@ import (
 // ecc's density at roughly a quarter of its area.
 var benchSpec = synth.Spec{Name: "bench", Nets: 400, Width: 300, Height: 160, Seed: 9}
 
+// benchLargeSpec is the largest synthetic circuit in the benchmark suite
+// (same pin density as benchSpec, 4x the area, 32 panels) — the instance
+// the parallel-vs-sequential pairs below measure speedup on.
+var benchLargeSpec = synth.Spec{Name: "benchlarge", Nets: 1600, Width: 600, Height: 320, Seed: 11}
+
 func benchDesign(b *testing.B) *design.Design {
 	b.Helper()
 	d, err := synth.Generate(benchSpec)
@@ -239,6 +244,88 @@ func BenchmarkAblationPostImprove(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res := lagrange.Solve(m, lagrange.Config{SkipPostImprove: skip})
+				b.ReportMetric(res.Solution.Objective, "objective")
+			}
+		})
+	}
+}
+
+// --- Parallel pipeline: sequential-vs-parallel pairs -------------------
+//
+// Each family runs the identical workload at worker counts 1/2/4/8, so
+// `go test -bench Workers` prints the speedup ladder directly. Results are
+// byte-identical across worker counts (see internal/parallel); only the
+// wall clock changes.
+
+var benchWorkerCounts = []int{1, 2, 4, 8}
+
+func BenchmarkPinOptWorkers(b *testing.B) {
+	d, err := synth.Generate(benchLargeSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, _, err := core.OptimizePinAccess(d, core.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Objective, "objective")
+			}
+		})
+	}
+}
+
+func BenchmarkIntervalGenerationWorkers(b *testing.B) {
+	d, err := synth.Generate(synth.SweepSpec(3000, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := d.BuildTrackIndex()
+	ids := make([]int, len(d.Pins))
+	for i := range ids {
+		ids[i] = i
+	}
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pinaccess.GenerateWithOptions(d, idx, ids, pinaccess.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkConflictDetectionWorkers(b *testing.B) {
+	d, err := synth.Generate(synth.SweepSpec(3000, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]int, len(d.Pins))
+	for i := range ids {
+		ids[i] = i
+	}
+	set, err := pinaccess.Generate(d, d.BuildTrackIndex(), ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				conflict.DetectWorkers(set.Intervals, w)
+			}
+		})
+	}
+}
+
+func BenchmarkLagrangeWorkers(b *testing.B) {
+	m := benchModel(b, 3000, 77)
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := lagrange.Solve(m, lagrange.Config{Workers: w})
 				b.ReportMetric(res.Solution.Objective, "objective")
 			}
 		})

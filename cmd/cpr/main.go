@@ -35,6 +35,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "generator seed for a custom circuit")
 		mode       = flag.String("mode", "cpr", "routing flow: cpr, nopinopt, sequential")
 		optimizer  = flag.String("optimizer", "lr", "pin access optimizer for cpr mode: lr, ilp")
+		workers    = flag.Int("workers", 0, "pin optimization worker count (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		ilpTimeout = flag.Duration("ilp-timeout", 30*time.Second, "per-panel ILP time limit")
 		verbose    = flag.Bool("v", false, "print pin optimization and stage details")
 		loadPath   = flag.String("load", "", "load the design from a cpr-design file instead of generating")
@@ -70,7 +71,7 @@ func main() {
 		f.Close()
 	}
 
-	opts := core.Options{ILP: ilp.Config{TimeLimit: *ilpTimeout}}
+	opts := core.Options{ILP: ilp.Config{TimeLimit: *ilpTimeout}, Workers: *workers}
 	switch *mode {
 	case "cpr":
 		opts.Mode = core.ModeCPR

@@ -31,10 +31,11 @@ func main() {
 		quick    = flag.Bool("quick", false, "scaled-down effort (seconds instead of minutes)")
 		circuits = flag.String("circuits", "", "comma-separated circuit subset (default all six)")
 		ilpLimit = flag.Duration("ilp-timeout", 0, "override ILP time limit")
+		workers  = flag.Int("workers", 0, "pin optimization worker count (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, ILPTimeLimit: *ilpLimit}
+	cfg := experiments.Config{Quick: *quick, ILPTimeLimit: *ilpLimit, Workers: *workers}
 	if *circuits != "" {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}

@@ -20,6 +20,7 @@ import (
 	"cpr/internal/design"
 	"cpr/internal/ilp"
 	"cpr/internal/lagrange"
+	"cpr/internal/parallel"
 	"cpr/internal/pinaccess"
 	"cpr/internal/synth"
 )
@@ -33,11 +34,12 @@ func main() {
 		ilpTimeout = flag.Duration("ilp-timeout", 60*time.Second, "ILP time limit")
 		ub         = flag.Int("ub", 200, "LR iteration upper bound")
 		alpha      = flag.Float64("alpha", 0.95, "LR subgradient step exponent")
+		workers    = flag.Int("workers", 0, "optimization worker count (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
 	if *circuit != "" {
-		runCircuit(*circuit)
+		runCircuit(*circuit, *workers)
 		return
 	}
 
@@ -45,7 +47,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	model, err := buildModel(d)
+	model, err := buildModel(d, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -53,7 +55,7 @@ func main() {
 		model.NumPins(), model.NumIntervals(), len(model.Conflicts.Sets))
 
 	t0 := time.Now()
-	lr := lagrange.Solve(model, lagrange.Config{MaxIterations: *ub, Alpha: *alpha})
+	lr := lagrange.Solve(model, lagrange.Config{MaxIterations: *ub, Alpha: *alpha, Workers: parallel.Resolve(*workers)})
 	lrTime := time.Since(t0)
 	st := lr.Solution.Lengths(model.Set)
 	fmt.Printf("LR : objective %.1f, %d iterations, converged=%v, cpu %v\n",
@@ -76,7 +78,7 @@ func main() {
 	}
 }
 
-func runCircuit(name string) {
+func runCircuit(name string, workers int) {
 	spec, err := synth.SpecByName(name)
 	if err != nil {
 		fatal(err)
@@ -85,7 +87,7 @@ func runCircuit(name string) {
 	if err != nil {
 		fatal(err)
 	}
-	rep, _, err := core.OptimizePinAccess(d, core.Options{})
+	rep, _, err := core.OptimizePinAccess(d, core.Options{Workers: workers})
 	if err != nil {
 		fatal(err)
 	}
@@ -101,16 +103,16 @@ func runCircuit(name string) {
 	fmt.Printf("panels converged without refinement: %d/%d\n", converged, len(rep.Panels))
 }
 
-func buildModel(d *design.Design) (*assign.Model, error) {
+func buildModel(d *design.Design, workers int) (*assign.Model, error) {
 	pins := make([]int, len(d.Pins))
 	for i := range pins {
 		pins[i] = i
 	}
-	set, err := pinaccess.Generate(d, d.BuildTrackIndex(), pins)
+	set, err := pinaccess.GenerateWithOptions(d, d.BuildTrackIndex(), pins, pinaccess.Options{Workers: parallel.Resolve(workers)})
 	if err != nil {
 		return nil, err
 	}
-	return assign.Build(set, assign.SqrtProfit), nil
+	return assign.BuildWorkers(set, assign.SqrtProfit, parallel.Resolve(workers)), nil
 }
 
 func fatal(err error) {

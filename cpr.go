@@ -153,6 +153,11 @@ func TableCircuits() []Spec { return synth.TableSpecs() }
 func CircuitByName(name string) (Spec, error) { return synth.SpecByName(name) }
 
 // Run executes the selected routing flow on a validated design.
+//
+// Pin access optimization is track-sharded and runs on opts.Workers
+// goroutines (0 = GOMAXPROCS, 1 = fully sequential). The result is
+// byte-identical for every worker count; only wall-clock fields such as
+// Metrics.CPUSeconds vary between runs.
 func Run(d *Design, opts Options) (*RunResult, error) { return core.Run(d, opts) }
 
 // OptimizePinAccess runs concurrent pin access optimization only (no

@@ -24,6 +24,7 @@ import (
 	"cpr/internal/conflict"
 	"cpr/internal/ilp"
 	"cpr/internal/lp"
+	"cpr/internal/parallel"
 	"cpr/internal/pinaccess"
 )
 
@@ -54,17 +55,28 @@ type Model struct {
 // Build assembles a model from a generated interval set using profit
 // function f (use SqrtProfit for the paper's objective).
 func Build(set *pinaccess.Set, f ProfitFn) *Model {
+	return BuildWorkers(set, f, 1)
+}
+
+// BuildWorkers is Build with the conflict sweep and profit evaluation
+// sharded across up to workers goroutines (<= 1 is sequential, and the
+// model is byte-identical for every value). With workers > 1 the profit
+// function f must be safe for concurrent calls; the built-in profit
+// functions are pure.
+func BuildWorkers(set *pinaccess.Set, f ProfitFn, workers int) *Model {
 	m := &Model{
 		Set:         set,
-		Conflicts:   conflict.BuildMatrix(set.Intervals),
+		Conflicts:   conflict.BuildMatrixWorkers(set.Intervals, workers),
 		Profits:     make([]float64, len(set.Intervals)),
 		BaseProfits: make([]float64, len(set.Intervals)),
 	}
-	for i := range set.Intervals {
-		base := f(set.Intervals[i].Span.Len())
-		m.BaseProfits[i] = base
-		m.Profits[i] = base * float64(len(set.Intervals[i].PinIDs))
-	}
+	parallel.ForEachChunk(workers, len(set.Intervals), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := f(set.Intervals[i].Span.Len())
+			m.BaseProfits[i] = base
+			m.Profits[i] = base * float64(len(set.Intervals[i].PinIDs))
+		}
+	})
 	return m
 }
 

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"cpr/internal/geom"
+	"cpr/internal/parallel"
 	"cpr/internal/pinaccess"
 )
 
@@ -29,6 +30,14 @@ type Set struct {
 // Detect sweeps every track and returns all maximal conflict sets with at
 // least two members, ordered by track then left edge of the common span.
 func Detect(intervals []pinaccess.Interval) []Set {
+	return DetectWorkers(intervals, 1)
+}
+
+// DetectWorkers is Detect with the per-track sweeps sharded across up to
+// workers goroutines (<= 1 is sequential). Tracks are independent, each
+// sweep writes to its own slot, and slots are concatenated in ascending
+// track order, so the result is byte-identical for every worker count.
+func DetectWorkers(intervals []pinaccess.Interval, workers int) []Set {
 	byTrack := make(map[int][]int)
 	for i := range intervals {
 		byTrack[intervals[i].Track] = append(byTrack[intervals[i].Track], i)
@@ -39,6 +48,17 @@ func Detect(intervals []pinaccess.Interval) []Set {
 	}
 	sort.Ints(tracks)
 
+	if workers > 1 && len(tracks) >= parallel.Threshold {
+		shards := make([][]Set, len(tracks))
+		parallel.ForEach(workers, len(tracks), func(ti int) {
+			shards[ti] = detectTrack(intervals, byTrack[tracks[ti]], tracks[ti])
+		})
+		var out []Set
+		for _, shard := range shards {
+			out = append(out, shard...)
+		}
+		return out
+	}
 	var out []Set
 	for _, t := range tracks {
 		out = append(out, detectTrack(intervals, byTrack[t], t)...)
@@ -115,7 +135,14 @@ type Matrix struct {
 // BuildMatrix runs Detect and indexes membership for numIntervals
 // intervals.
 func BuildMatrix(intervals []pinaccess.Interval) *Matrix {
-	sets := Detect(intervals)
+	return BuildMatrixWorkers(intervals, 1)
+}
+
+// BuildMatrixWorkers is BuildMatrix with the sweep sharded across up to
+// workers goroutines. The membership index is derived serially from the
+// ordered set list, so it inherits the sweep's determinism.
+func BuildMatrixWorkers(intervals []pinaccess.Interval, workers int) *Matrix {
+	sets := DetectWorkers(intervals, workers)
 	m := &Matrix{Sets: sets, MemberOf: make([][]int, len(intervals))}
 	for si := range sets {
 		for _, id := range sets[si].IDs {

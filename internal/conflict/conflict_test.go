@@ -301,6 +301,114 @@ func TestViolations(t *testing.T) {
 	}
 }
 
+// oracleDetect is the brute-force multi-track oracle: per track, the
+// maximal point-stabbing cliques of size >= 2 with their common spans,
+// ordered like the sweep (track ascending, then common-span left edge).
+// It is O(tracks * width * n) time and O(n^2) in comparisons — correct by
+// construction, deliberately ignorant of the sweep's active-list logic.
+func oracleDetect(ivs []pinaccess.Interval, lo, hi int) []Set {
+	byTrack := make(map[int][]int)
+	for i := range ivs {
+		byTrack[ivs[i].Track] = append(byTrack[ivs[i].Track], i)
+	}
+	tracks := make([]int, 0, len(byTrack))
+	for tr := range byTrack {
+		tracks = append(tracks, tr)
+	}
+	sort.Ints(tracks)
+
+	var out []Set
+	for _, tr := range tracks {
+		sub := make([]pinaccess.Interval, 0, len(byTrack[tr]))
+		back := make([]int, 0, len(byTrack[tr]))
+		for _, id := range byTrack[tr] {
+			iv := ivs[id]
+			iv.ID = len(sub)
+			sub = append(sub, iv)
+			back = append(back, id)
+		}
+		var trackSets []Set
+		for _, c := range bruteForceCliques(sub, lo, hi) {
+			ids := make([]int, len(c))
+			common := sub[c[0]].Span
+			for i, local := range c {
+				ids[i] = back[local]
+				common = common.Intersect(sub[local].Span)
+			}
+			sort.Ints(ids)
+			trackSets = append(trackSets, Set{Track: tr, IDs: ids, Common: common})
+		}
+		sort.Slice(trackSets, func(a, b int) bool {
+			return trackSets[a].Common.Lo < trackSets[b].Common.Lo
+		})
+		out = append(out, trackSets...)
+	}
+	return out
+}
+
+// randomIntervals draws n intervals over the given track and coordinate
+// ranges with sequential IDs, as pinaccess generation would emit them.
+func randomIntervals(r *rand.Rand, n, tracks, width, maxLen int) []pinaccess.Interval {
+	ivs := make([]pinaccess.Interval, n)
+	for i := range ivs {
+		lo := r.Intn(width)
+		ivs[i] = pinaccess.Interval{
+			ID:        i,
+			Track:     r.Intn(tracks),
+			Span:      geom.Interval{Lo: lo, Hi: lo + r.Intn(maxLen)},
+			MinForPin: -1,
+		}
+	}
+	return ivs
+}
+
+// TestDetectMatchesOracleMultiTrack cross-checks the production sweep
+// against the brute-force oracle on random multi-track instances,
+// comparing the full Set values — members, tracks, common spans, and
+// emission order — not just set counts.
+func TestDetectMatchesOracleMultiTrack(t *testing.T) {
+	r := rand.New(rand.NewSource(1702))
+	trials := 200
+	if testing.Short() {
+		trials = 40
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + r.Intn(30)
+		tracks := 1 + r.Intn(5)
+		ivs := randomIntervals(r, n, tracks, 40, 10)
+		got := Detect(ivs)
+		want := oracleDetect(ivs, 0, 60)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d tracks=%d):\n got %+v\nwant %+v", trial, n, tracks, got, want)
+		}
+	}
+}
+
+// TestDetectWorkersMatchesSequential drives the sharded sweep over enough
+// tracks to engage its parallel branch and asserts byte-identical output
+// against the sequential path and the oracle.
+func TestDetectWorkersMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 10; trial++ {
+		ivs := randomIntervals(r, 600, 100, 50, 8)
+		seq := Detect(ivs)
+		for _, workers := range []int{2, 8} {
+			par := DetectWorkers(ivs, workers)
+			if !reflect.DeepEqual(par, seq) {
+				t.Fatalf("trial %d: DetectWorkers(%d) differs from sequential", trial, workers)
+			}
+		}
+		if want := oracleDetect(ivs, 0, 70); !reflect.DeepEqual(seq, want) {
+			t.Fatalf("trial %d: sweep differs from oracle on the wide instance", trial)
+		}
+		seqM := BuildMatrix(ivs)
+		parM := BuildMatrixWorkers(ivs, 8)
+		if !reflect.DeepEqual(parM, seqM) {
+			t.Fatalf("trial %d: BuildMatrixWorkers(8) differs from sequential", trial)
+		}
+	}
+}
+
 func TestEmptyInput(t *testing.T) {
 	if sets := Detect(nil); len(sets) != 0 {
 		t.Error("Detect(nil) should be empty")

@@ -11,7 +11,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"cpr/internal/assign"
@@ -20,6 +19,7 @@ import (
 	"cpr/internal/ilp"
 	"cpr/internal/lagrange"
 	"cpr/internal/metrics"
+	"cpr/internal/parallel"
 	"cpr/internal/pinaccess"
 	"cpr/internal/router"
 )
@@ -77,12 +77,35 @@ type Options struct {
 	Router     router.Config
 	Sequential router.SequentialConfig
 	// Profit is the interval profit function (default assign.SqrtProfit).
+	// With more than one worker it must be safe for concurrent calls (the
+	// built-in profit functions are pure).
 	Profit assign.ProfitFn
-	// Parallelism is the number of panels optimized concurrently
-	// (0 or 1 = sequential). Results are deterministic regardless: the
-	// paper notes the panel decomposition "can also handle multiple
-	// panels simultaneously", and panels are independent subproblems.
+	// Workers bounds the concurrency of the whole optimization pipeline:
+	// panel subproblems run on a shared pool, and spare capacity flows
+	// into the per-track interval generation, the per-track conflict
+	// sweeps, and the per-conflict-set LR subgradient updates of each
+	// panel. 0 selects runtime.GOMAXPROCS(0); 1 forces the fully
+	// sequential path. The determinism contract of internal/parallel
+	// guarantees byte-identical results — metrics, selected intervals,
+	// and routes — for every value (only wall-clock fields such as
+	// Metrics.CPUSeconds and PinOptReport.Elapsed vary).
+	Workers int
+	// Parallelism is the number of panels optimized concurrently.
+	//
+	// Deprecated: set Workers instead. Parallelism is honoured only when
+	// Workers is zero.
 	Parallelism int
+}
+
+// workers resolves the effective worker count for a run.
+func (o Options) workers() int {
+	if o.Workers != 0 {
+		return parallel.Resolve(o.Workers)
+	}
+	if o.Parallelism != 0 {
+		return parallel.Resolve(o.Parallelism)
+	}
+	return parallel.Resolve(0)
 }
 
 // PanelReport records pin access optimization results for one panel.
@@ -162,8 +185,8 @@ type PanelSeed struct {
 // OptimizePinAccess runs concurrent pin access optimization on every
 // panel of the design with the configured optimizer and returns the
 // per-panel reports plus the seeds for the router. Panels are independent
-// subproblems; with opts.Parallelism > 1 they are solved concurrently
-// with byte-identical results.
+// subproblems solved concurrently on opts.Workers workers (default
+// GOMAXPROCS) with byte-identical results for every worker count.
 func OptimizePinAccess(d *design.Design, opts Options) (*PinOptReport, []PanelSeed, error) {
 	if opts.Profit == nil {
 		opts.Profit = assign.SqrtProfit
@@ -178,6 +201,15 @@ func OptimizePinAccess(d *design.Design, opts Options) (*PinOptReport, []PanelSe
 		}
 	}
 
+	// Panels are the outer shard; when there are fewer panels than
+	// workers (a single-panel sweep design, say), the spare capacity
+	// flows into each panel's per-track and per-conflict-set stages.
+	workers := opts.workers()
+	inner := 1
+	if len(panels) > 0 {
+		inner = (workers + len(panels) - 1) / len(panels)
+	}
+
 	type panelResult struct {
 		report PanelReport
 		seed   PanelSeed
@@ -186,13 +218,13 @@ func OptimizePinAccess(d *design.Design, opts Options) (*PinOptReport, []PanelSe
 	results := make([]panelResult, len(panels))
 	solve := func(slot, panel int) {
 		pins := d.PinsInPanel(panel)
-		set, err := pinaccess.Generate(d, idx, pins)
+		set, err := pinaccess.GenerateWithOptions(d, idx, pins, pinaccess.Options{Workers: inner})
 		if err != nil {
 			results[slot].err = fmt.Errorf("core: panel %d: %w", panel, err)
 			return
 		}
-		model := assign.Build(set, opts.Profit)
-		sol, converged, err := solvePanel(model, opts)
+		model := assign.BuildWorkers(set, opts.Profit, inner)
+		sol, converged, err := solvePanel(model, opts, inner)
 		if err != nil {
 			results[slot].err = fmt.Errorf("core: panel %d: %w", panel, err)
 			return
@@ -215,29 +247,11 @@ func OptimizePinAccess(d *design.Design, opts Options) (*PinOptReport, []PanelSe
 		}
 	}
 
-	workers := opts.Parallelism
-	if workers <= 1 {
-		for slot, panel := range panels {
-			solve(slot, panel)
-		}
-	} else {
-		var wg sync.WaitGroup
-		jobs := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for slot := range jobs {
-					solve(slot, panels[slot])
-				}
-			}()
-		}
-		for slot := range panels {
-			jobs <- slot
-		}
-		close(jobs)
-		wg.Wait()
-	}
+	// Per-slot writes plus the ordered reduce below keep the report and
+	// seed order byte-identical for every worker count.
+	parallel.ForEach(workers, len(panels), func(slot int) {
+		solve(slot, panels[slot])
+	})
 
 	report := &PinOptReport{}
 	var seeds []PanelSeed
@@ -258,8 +272,9 @@ func OptimizePinAccess(d *design.Design, opts Options) (*PinOptReport, []PanelSe
 
 // solvePanel dispatches to the configured optimizer. An ILP run that hits
 // its limits falls back to the LR solution, mirroring how a production
-// flow would degrade.
-func solvePanel(model *assign.Model, opts Options) (*assign.Solution, bool, error) {
+// flow would degrade. workers bounds the LR solver's per-iteration
+// concurrency unless the caller pinned it explicitly in opts.LR.
+func solvePanel(model *assign.Model, opts Options, workers int) (*assign.Solution, bool, error) {
 	if opts.Optimizer == OptILP {
 		sol, res, err := model.SolveILP(opts.ILP)
 		if err == nil {
@@ -267,6 +282,10 @@ func solvePanel(model *assign.Model, opts Options) (*assign.Solution, bool, erro
 		}
 		// Fall through to LR on solver limits.
 	}
-	res := lagrange.Solve(model, opts.LR)
+	lrCfg := opts.LR
+	if lrCfg.Workers == 0 {
+		lrCfg.Workers = workers
+	}
+	res := lagrange.Solve(model, lrCfg)
 	return res.Solution, res.Converged, nil
 }

@@ -1,0 +1,75 @@
+package designio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cpr/internal/synth"
+)
+
+// fuzzSeedCorpus returns representative inputs: a full valid serialized
+// design, a minimal valid design, and a spread of malformed variants
+// covering every record type and error path.
+func fuzzSeedCorpus(f *testing.F) [][]byte {
+	f.Helper()
+	d, err := synth.Generate(synth.Spec{Name: "fuzzseed", Nets: 20, Width: 60, Height: 20, Seed: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		f.Fatal(err)
+	}
+	minimal := "cpr-design 1\ndesign d 8 8\nnet n0\npin p0 0 1 1 2 1\n"
+	return [][]byte{
+		buf.Bytes(),
+		[]byte(minimal),
+		[]byte(""),
+		[]byte("cpr-design 1\n"),
+		[]byte("cpr-design 2\ndesign d 8 8\n"),
+		[]byte("not-a-design 1\n"),
+		[]byte("cpr-design 1\ndesign d -5 8\n"),
+		[]byte("cpr-design 1\ndesign d 99999999999999999999 8\n"),
+		[]byte("cpr-design 1\npin p 0 0 0 0 0\n"),
+		[]byte("cpr-design 1\ndesign d 8 8\npin p 3 0 0 0 0\n"),
+		[]byte("cpr-design 1\ndesign d 8 8\nnet n\npin p 0 7 0 1 0 extra\n"),
+		[]byte("cpr-design 1\ndesign d 8 8\ntech 0 0 0 0 0 0 0\nnet n\npin p 0 1 1 2 1\n"),
+		[]byte("cpr-design 1\ndesign d 8 8\ntech 10 1 4 10 1 3 2\nnet n\npin p 0 1 1 2 1\nblockage 9 0 0 1 1\n"),
+		[]byte("cpr-design 1\ndesign d 8 8\nnet n\npin p 0 1 1 2 1\nblockage 1 1 1 2 1\n"),
+		[]byte("cpr-design 1\n# comment\n\ndesign d 8 8\nnet n\nnet n2\npin a 0 1 1 2 1\npin b 1 4 1 5 1\n"),
+		[]byte("cpr-design 1\ndesign d 8 8\nnet n\npin a 0 1 1 2 1\npin b 0 2 1 3 1\n"),
+		[]byte(strings.Repeat("cpr-design 1\ndesign d 8 8\n", 2)),
+	}
+}
+
+// FuzzParseDesign asserts Read never panics on arbitrary input, and that
+// any design Read accepts survives a Write/Read round trip with a stable
+// canonical form (the second Write is byte-identical to the first).
+func FuzzParseDesign(f *testing.F) {
+	for _, seed := range fuzzSeedCorpus(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		var first bytes.Buffer
+		if err := Write(&first, d); err != nil {
+			t.Fatalf("Write of accepted design failed: %v", err)
+		}
+		d2, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Read of written design failed: %v\ninput:\n%s\nwritten:\n%s",
+				err, data, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := Write(&second, d2); err != nil {
+			t.Fatalf("second Write failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("Write is not canonical:\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}

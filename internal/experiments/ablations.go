@@ -176,7 +176,7 @@ func CutMaskComparison(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		res, err := core.Run(d, core.Options{Mode: mode})
+		res, err := core.Run(d, core.Options{Mode: mode, Workers: cfg.Workers})
 		if err != nil {
 			return err
 		}

@@ -33,7 +33,7 @@ func Evaluation(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
-			res, err := core.Run(fresh, core.Options{Mode: m.mode})
+			res, err := core.Run(fresh, core.Options{Mode: m.mode, Workers: cfg.Workers})
 			if err != nil {
 				return fmt.Errorf("evaluation %s/%s: %w", name, m.label, err)
 			}

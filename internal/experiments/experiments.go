@@ -39,6 +39,9 @@ type Config struct {
 	Quick bool
 	// ILPTimeLimit bounds each ILP solve (default 60s, quick 5s).
 	ILPTimeLimit time.Duration
+	// Workers bounds the optimization pipeline's concurrency per run
+	// (0 = GOMAXPROCS, 1 = sequential); results are identical either way.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,7 +97,7 @@ func Table2(w io.Writer, cfg Config) error {
 			// Fresh design per run: routing mutates grid state.
 			spec, _ := synth.SpecByName(d.Name)
 			fresh := synth.MustGenerate(spec)
-			res, err := core.Run(fresh, core.Options{Mode: m.mode})
+			res, err := core.Run(fresh, core.Options{Mode: m.mode, Workers: cfg.Workers})
 			if err != nil {
 				return fmt.Errorf("table2 %s/%s: %w", d.Name, m.label, err)
 			}
@@ -158,7 +161,7 @@ func Fig6(w io.Writer, cfg Config) ([]Fig6Point, error) {
 		pt := Fig6Point{Pins: model.NumPins()}
 
 		t0 := time.Now()
-		lrRes := lagrange.Solve(model, lagrange.Config{})
+		lrRes := lagrange.Solve(model, lagrange.Config{Workers: cfg.Workers})
 		pt.LRSeconds = time.Since(t0).Seconds()
 		pt.LRObjective = lrRes.Solution.Objective
 
@@ -222,7 +225,7 @@ func Fig7a(w io.Writer, cfg Config) ([]Fig7aRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		lrRun, err := core.Run(synth.MustGenerate(spec), core.Options{Mode: core.ModeCPR, Optimizer: core.OptLR})
+		lrRun, err := core.Run(synth.MustGenerate(spec), core.Options{Mode: core.ModeCPR, Optimizer: core.OptLR, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -230,6 +233,7 @@ func Fig7a(w io.Writer, cfg Config) ([]Fig7aRow, error) {
 			Mode:      core.ModeCPR,
 			Optimizer: core.OptILP,
 			ILP:       ilp.Config{TimeLimit: cfg.ILPTimeLimit},
+			Workers:   cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -263,11 +267,11 @@ func Fig7b(w io.Writer, cfg Config) ([]Fig7bRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		withOpt, err := core.Run(synth.MustGenerate(spec), core.Options{Mode: core.ModeCPR})
+		withOpt, err := core.Run(synth.MustGenerate(spec), core.Options{Mode: core.ModeCPR, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
-		withoutOpt, err := core.Run(synth.MustGenerate(spec), core.Options{Mode: core.ModeNoPinOpt})
+		withoutOpt, err := core.Run(synth.MustGenerate(spec), core.Options{Mode: core.ModeNoPinOpt, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

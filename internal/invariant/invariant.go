@@ -1,0 +1,186 @@
+// Package invariant asserts the paper's theorems as executable invariants
+// over generated interval sets and assignment solutions, independently of
+// the code that produced them:
+//
+//   - Theorem 1: every pin has a feasible minimum interval — so any
+//     generated Set must give every requested pin at least one interval,
+//     one of which is marked as its minimum and equals the pin's own span.
+//   - Constraint (1b): a legal assignment covers every pin with exactly
+//     one selected interval.
+//   - Constraint (1c): a legal assignment is conflict free. The check here
+//     is a brute-force O(n^2) pairwise-overlap oracle over the selected
+//     intervals of each track, deliberately not reusing the linear
+//     conflict sweep it cross-checks.
+//
+// The checks are pure functions returning errors, so they serve equally as
+// test assertions (internal/invariant's own property tests run them
+// against the sequential and parallel pipelines) and as debug-mode audits.
+//
+// RandomSpec generates small random synth.Spec instances for
+// testing/quick-style property tests.
+package invariant
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cpr/internal/assign"
+	"cpr/internal/design"
+	"cpr/internal/pinaccess"
+	"cpr/internal/synth"
+)
+
+// CheckIntervalSet verifies the structural invariants of a generated
+// interval set against its design: Theorem 1 feasibility per pin, interval
+// self-consistency (net, coverage, span containment), and the ByPin index
+// matching the coverage lists exactly.
+func CheckIntervalSet(d *design.Design, s *pinaccess.Set) error {
+	for _, pid := range s.PinIDs {
+		if pid < 0 || pid >= len(d.Pins) {
+			return fmt.Errorf("invariant: set references pin %d outside design", pid)
+		}
+		if len(s.ByPin[pid]) == 0 {
+			return fmt.Errorf("invariant: pin %d has no access interval (Theorem 1 violated)", pid)
+		}
+		min := s.AnyMinInterval(pid)
+		if min < 0 {
+			return fmt.Errorf("invariant: pin %d has no minimum interval (Theorem 1 violated)", pid)
+		}
+		if got, want := s.Intervals[min].Span, d.Pins[pid].Shape.XSpan(); got != want {
+			return fmt.Errorf("invariant: pin %d minimum interval spans %v, want the pin span %v", pid, got, want)
+		}
+	}
+	for i := range s.Intervals {
+		iv := &s.Intervals[i]
+		if iv.ID != i {
+			return fmt.Errorf("invariant: interval at index %d carries ID %d", i, iv.ID)
+		}
+		if iv.Span.Empty() {
+			return fmt.Errorf("invariant: interval %d has empty span", i)
+		}
+		if len(iv.PinIDs) == 0 {
+			return fmt.Errorf("invariant: interval %d covers no pins", i)
+		}
+		for _, pid := range iv.PinIDs {
+			if pid < 0 || pid >= len(d.Pins) {
+				return fmt.Errorf("invariant: interval %d covers pin %d outside design", i, pid)
+			}
+			p := &d.Pins[pid]
+			if p.NetID != iv.NetID {
+				return fmt.Errorf("invariant: interval %d (net %d) covers pin %d of net %d",
+					i, iv.NetID, pid, p.NetID)
+			}
+			if !iv.Span.ContainsInterval(p.Shape.XSpan()) {
+				return fmt.Errorf("invariant: interval %d span %v does not contain covered pin %d span %v",
+					i, iv.Span, pid, p.Shape.XSpan())
+			}
+			if iv.Track < p.Shape.Y0 || iv.Track > p.Shape.Y1 {
+				return fmt.Errorf("invariant: interval %d on track %d covers pin %d spanning tracks [%d,%d]",
+					i, iv.Track, pid, p.Shape.Y0, p.Shape.Y1)
+			}
+		}
+	}
+	// ByPin must be the exact inverse of the coverage lists.
+	for pid, ivs := range s.ByPin {
+		for _, i := range ivs {
+			if i < 0 || i >= len(s.Intervals) || !s.Intervals[i].Covers(pid) {
+				return fmt.Errorf("invariant: ByPin[%d] lists interval %d which does not cover it", pid, i)
+			}
+		}
+	}
+	for i := range s.Intervals {
+		for _, pid := range s.Intervals[i].PinIDs {
+			if !containsInt(s.ByPin[pid], i) {
+				return fmt.Errorf("invariant: interval %d covers pin %d but is missing from ByPin", i, pid)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAssignment verifies a solved assignment against the paper's
+// constraints without trusting the solver's own bookkeeping: exactly one
+// selected interval covers each pin (1b), the per-pin map is consistent
+// with Selected, and no two selected intervals on one track overlap — the
+// brute-force conflict-freedom oracle for (1c).
+func CheckAssignment(s *pinaccess.Set, sol *assign.Solution) error {
+	if sol == nil {
+		return fmt.Errorf("invariant: nil solution")
+	}
+	if len(sol.Selected) != len(s.Intervals) {
+		return fmt.Errorf("invariant: solution selects over %d intervals, set has %d",
+			len(sol.Selected), len(s.Intervals))
+	}
+	for _, pid := range s.PinIDs {
+		count := 0
+		for _, iv := range s.ByPin[pid] {
+			if sol.Selected[iv] {
+				count++
+			}
+		}
+		if count != 1 {
+			return fmt.Errorf("invariant: pin %d covered by %d selected intervals, want exactly 1 (1b)", pid, count)
+		}
+		assigned, ok := sol.ByPin[pid]
+		if !ok {
+			return fmt.Errorf("invariant: pin %d missing from ByPin", pid)
+		}
+		if assigned < 0 || assigned >= len(s.Intervals) || !sol.Selected[assigned] {
+			return fmt.Errorf("invariant: pin %d assigned unselected interval %d", pid, assigned)
+		}
+		if !s.Intervals[assigned].Covers(pid) {
+			return fmt.Errorf("invariant: pin %d assigned interval %d which does not cover it", pid, assigned)
+		}
+	}
+	// Brute-force (1c) oracle: any two selected intervals sharing a track
+	// and a grid point form a conflict, whatever the sweep said.
+	var selected []int
+	for i, sel := range sol.Selected {
+		if sel {
+			selected = append(selected, i)
+		}
+	}
+	for a := 0; a < len(selected); a++ {
+		for b := a + 1; b < len(selected); b++ {
+			ia, ib := &s.Intervals[selected[a]], &s.Intervals[selected[b]]
+			if ia.Track == ib.Track && ia.Span.Overlaps(ib.Span) {
+				return fmt.Errorf("invariant: selected intervals %d and %d overlap on track %d (1c)",
+					ia.ID, ib.ID, ia.Track)
+			}
+		}
+	}
+	return nil
+}
+
+// RandomSpec draws a small random synthetic circuit spec from rng. The
+// bounds keep the pin density inside the generator's feasible regime so
+// synth.Generate always succeeds, while varying every axis the pipeline
+// shards over: panel count, net count, blockage density, and net span.
+func RandomSpec(rng *rand.Rand, name string) synth.Spec {
+	width := 60 + rng.Intn(120)
+	panels := 2 + rng.Intn(5)
+	height := panels * 10
+	// Stay well below the ~0.024 pins/cell routable ceiling: nets average
+	// 2.5 pins, so cap nets at ~0.006 nets per cell.
+	maxNets := width * height * 6 / 1000
+	nets := 10 + rng.Intn(maxNets)
+	return synth.Spec{
+		Name:             name,
+		Nets:             nets,
+		Width:            width,
+		Height:           height,
+		Seed:             rng.Int63(),
+		BlockageFraction: 0.01 + rng.Float64()*0.03,
+		MaxNetSpan:       12 + rng.Intn(24),
+		NoPowerRails:     rng.Intn(4) == 0,
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

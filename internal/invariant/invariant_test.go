@@ -1,0 +1,140 @@
+package invariant
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cpr/internal/core"
+	"cpr/internal/design"
+	"cpr/internal/pinaccess"
+	"cpr/internal/synth"
+)
+
+// propertyTrials returns how many random specs each property test draws.
+func propertyTrials(t *testing.T) int {
+	if testing.Short() {
+		return 4
+	}
+	return 16
+}
+
+// generate builds the design for a spec, failing the test on generator
+// errors so a bad RandomSpec bound shows up as a failure, not a skip.
+func generate(t *testing.T, spec synth.Spec) *design.Design {
+	t.Helper()
+	d, err := synth.Generate(spec)
+	if err != nil {
+		t.Fatalf("spec %+v: generate: %v", spec, err)
+	}
+	return d
+}
+
+// TestPropertyPinOptInvariants is the paper-theorem property test: for
+// random circuits, the full pin access optimization pipeline must produce
+// interval sets satisfying Theorem 1 and assignments satisfying (1b) and
+// (1c) — on the sequential path and the parallel path alike.
+func TestPropertyPinOptInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20170618))
+	for trial := 0; trial < propertyTrials(t); trial++ {
+		spec := RandomSpec(rng, fmt.Sprintf("prop%02d", trial))
+		for _, workers := range []int{1, 4} {
+			d := generate(t, spec)
+			_, seeds, err := core.OptimizePinAccess(d, core.Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			if len(seeds) == 0 {
+				t.Fatalf("trial %d workers=%d: no panels optimized", trial, workers)
+			}
+			for pi, seed := range seeds {
+				if err := CheckIntervalSet(d, seed.Set); err != nil {
+					t.Errorf("trial %d workers=%d panel %d: %v", trial, workers, pi, err)
+				}
+				if err := CheckAssignment(seed.Set, seed.Solution); err != nil {
+					t.Errorf("trial %d workers=%d panel %d: %v", trial, workers, pi, err)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyGenerationIsWorkerInvariant asserts that interval generation
+// over a whole random design yields deeply equal sets for sequential and
+// parallel execution — same intervals, same IDs, same order.
+func TestPropertyGenerationIsWorkerInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < propertyTrials(t); trial++ {
+		spec := RandomSpec(rng, fmt.Sprintf("gen%02d", trial))
+		d := generate(t, spec)
+		idx := d.BuildTrackIndex()
+		pins := make([]int, len(d.Pins))
+		for i := range pins {
+			pins[i] = i
+		}
+		seq, err := pinaccess.GenerateWithOptions(d, idx, pins, pinaccess.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		par, err := pinaccess.GenerateWithOptions(d, idx, pins, pinaccess.Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("trial %d parallel: %v", trial, err)
+		}
+		if !reflect.DeepEqual(seq.Intervals, par.Intervals) {
+			t.Fatalf("trial %d: parallel interval list differs from sequential", trial)
+		}
+		if !reflect.DeepEqual(seq.ByPin, par.ByPin) {
+			t.Fatalf("trial %d: parallel ByPin index differs from sequential", trial)
+		}
+		if err := CheckIntervalSet(d, par); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestCheckersRejectCorruptedData makes sure the invariant checkers are
+// not vacuous: corrupting a valid result must trip them.
+func TestCheckersRejectCorruptedData(t *testing.T) {
+	d := generate(t, synth.Spec{Name: "corrupt", Nets: 30, Width: 80, Height: 20, Seed: 9})
+	_, seeds, err := core.OptimizePinAccess(d, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := seeds[0]
+	if err := CheckIntervalSet(d, seed.Set); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	if err := CheckAssignment(seed.Set, seed.Solution); err != nil {
+		t.Fatalf("valid assignment rejected: %v", err)
+	}
+
+	// Drop a pin's intervals: Theorem 1 check must fire.
+	pid := seed.Set.PinIDs[0]
+	saved := seed.Set.ByPin[pid]
+	seed.Set.ByPin[pid] = nil
+	if err := CheckIntervalSet(d, seed.Set); err == nil {
+		t.Error("CheckIntervalSet accepted a pin with no intervals")
+	}
+	seed.Set.ByPin[pid] = saved
+
+	// Deselect a pin's assigned interval: the exactly-one check must fire.
+	iv := seed.Solution.ByPin[pid]
+	seed.Solution.Selected[iv] = false
+	if err := CheckAssignment(seed.Set, seed.Solution); err == nil {
+		t.Error("CheckAssignment accepted a pin with no selected interval")
+	}
+	seed.Solution.Selected[iv] = true
+
+	// Select every interval: two same-track overlapping intervals (or a
+	// doubly covered pin) must trip (1b) or (1c).
+	all := make([]bool, len(seed.Solution.Selected))
+	for i := range all {
+		all[i] = true
+	}
+	corrupted := *seed.Solution
+	corrupted.Selected = all
+	if err := CheckAssignment(seed.Set, &corrupted); err == nil {
+		t.Error("CheckAssignment accepted an everything-selected solution")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"cpr/internal/assign"
+	"cpr/internal/parallel"
 )
 
 // Config tunes the LR solver. Zero values take the paper's defaults.
@@ -47,6 +48,13 @@ type Config struct {
 	// solution): each pin greedily upgrades to a more profitable
 	// conflict-free interval. Disable to measure the bare algorithm.
 	SkipPostImprove bool
+	// Workers bounds the goroutines used inside each subgradient
+	// iteration: the gain refresh is sharded per interval chunk and the
+	// multiplier update per conflict set, with penalty deltas folded back
+	// in conflict-set index order so every floating point accumulation
+	// happens in the sequential order. <= 1 runs fully sequentially; the
+	// result is byte-identical for every value.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,16 +100,34 @@ func Solve(m *assign.Model, cfg Config) Result {
 	gains := make([]float64, n)
 	selected := make([]bool, n)
 
+	// Per-iteration parallelism (cfg.Workers > 1): the gain refresh and
+	// the per-conflict-set multiplier updates are independent subproblems;
+	// scratch slots carry their results into an ordered merge.
+	gainWorkers, setWorkers := iterationWorkers(cfg, n, len(lambda))
+	var setDeltas []float64
+	var setCounts []int
+	if setWorkers > 1 {
+		setDeltas = make([]float64, len(lambda))
+		setCounts = make([]int, len(lambda))
+	}
+
 	var best []bool
 	minVio := math.MaxInt
 	iters := 0
 	for k := 1; k <= cfg.MaxIterations && minVio > 0; k++ {
 		iters = k
-		for i := 0; i < n; i++ {
-			gains[i] = m.Profits[i] - penalties[i]
-		}
+		parallel.ForEachChunk(gainWorkers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				gains[i] = m.Profits[i] - penalties[i]
+			}
+		})
 		maxGains(m, gains, order, selected, cfg)
-		vio := penalize(m, selected, lambda, penalties, k, cfg)
+		var vio int
+		if setWorkers > 1 {
+			vio = penalizeParallel(m, selected, lambda, penalties, k, cfg, setWorkers, setDeltas, setCounts)
+		} else {
+			vio = penalize(m, selected, lambda, penalties, k, cfg)
+		}
 		if vio < minVio {
 			minVio = vio
 			best = append(best[:0], selected...)
@@ -272,6 +298,75 @@ func penalize(m *assign.Model, selected []bool, lambda, penalties []float64, k i
 		if delta := next - lambda[si]; delta != 0 {
 			lambda[si] = next
 			for _, id := range cs.IDs {
+				penalties[id] += delta
+			}
+		}
+	}
+	return vio
+}
+
+// iterationWorkers decides, per stage, whether the per-iteration work is
+// big enough to amortize a fork-join. The cutover depends only on problem
+// sizes, never on timing, so the choice — and with it the exact execution —
+// is reproducible.
+func iterationWorkers(cfg Config, numIntervals, numSets int) (gainWorkers, setWorkers int) {
+	gainWorkers, setWorkers = 1, 1
+	if cfg.Workers <= 1 {
+		return
+	}
+	// The gain refresh is one subtraction per interval: it takes a large
+	// model before goroutines pay for themselves.
+	if numIntervals >= 64*parallel.Threshold {
+		gainWorkers = cfg.Workers
+	}
+	if numSets >= parallel.Threshold {
+		setWorkers = cfg.Workers
+	}
+	return
+}
+
+// penalizeParallel is penalize with the per-conflict-set subproblems run
+// concurrently. Each set owns its lambda slot and writes its penalty delta
+// and selection count to scratch; the deltas are then folded into the
+// shared per-interval penalties serially in set index order — the same
+// floating point accumulation order as the sequential path, so the
+// multiplier trajectory is byte-identical for every worker count.
+func penalizeParallel(m *assign.Model, selected []bool, lambda, penalties []float64, k int, cfg Config, workers int, deltas []float64, counts []int) int {
+	kAlpha := math.Pow(float64(k), cfg.Alpha)
+	sets := m.Conflicts.Sets
+	parallel.ForEachChunk(workers, len(sets), func(lo, hi int) {
+		for si := lo; si < hi; si++ {
+			cs := &sets[si]
+			count := 0
+			for _, id := range cs.IDs {
+				if selected[id] {
+					count++
+				}
+			}
+			counts[si] = count
+			deltas[si] = 0
+			if count <= 1 && !cfg.FullSubgradient {
+				continue
+			}
+			lm := float64(cs.Common.Len())
+			tk := lm / kAlpha
+			next := lambda[si] + tk*float64(count-1)
+			if next < 0 {
+				next = 0
+			}
+			if delta := next - lambda[si]; delta != 0 {
+				lambda[si] = next
+				deltas[si] = delta
+			}
+		}
+	})
+	vio := 0
+	for si := range sets {
+		if counts[si] > 1 {
+			vio++
+		}
+		if delta := deltas[si]; delta != 0 {
+			for _, id := range sets[si].IDs {
 				penalties[id] += delta
 			}
 		}

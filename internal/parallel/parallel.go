@@ -1,0 +1,123 @@
+// Package parallel is the deterministic fork-join worker pool behind the
+// track-sharded optimization pipeline.
+//
+// Every stage of concurrent pin access optimization is embarrassingly
+// parallel by construction — interval generation and conflict detection
+// are independent per routing track, panels are independent assignment
+// subproblems, and the LR subgradient update decomposes per conflict set —
+// so the pool only has to solve the boring half of the problem: run N
+// index-addressed jobs on up to W goroutines and let the caller merge the
+// per-slot results in a fixed order.
+//
+// The determinism contract every user of this package must keep:
+//
+//   - job i writes only to slot i of a caller-owned result slice (no
+//     shared mutable state inside jobs);
+//   - the caller reduces slots in index order after Join;
+//   - any floating point accumulation happens in the ordered reduce, not
+//     inside the jobs.
+//
+// Under that contract the output is byte-identical for every worker count
+// and any goroutine schedule, and workers == 1 executes the jobs inline on
+// the calling goroutine in index order — the bit-for-bit sequential path.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps an Options-style worker count to a concrete one: values
+// below 1 select runtime.GOMAXPROCS(0), everything else passes through.
+// The pool never runs more goroutines than jobs, so oversubscription only
+// costs idle goroutine startup, never correctness.
+func Resolve(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers concurrent
+// goroutines. Jobs are handed out dynamically (an atomic counter), so
+// uneven job sizes balance across workers; determinism must come from the
+// per-slot write contract above, never from scheduling. workers <= 1 (or
+// n <= 1) runs every job inline in index order.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachChunk splits [0, n) into contiguous chunks and runs fn(lo, hi)
+// (hi exclusive) for each, at most workers at a time. Use it for cheap
+// per-element work (filling a gains vector, zeroing flags) where a
+// goroutine per element would drown the work in scheduling overhead.
+// Chunk boundaries depend only on n and workers, so per-chunk results are
+// as deterministic as per-element ones.
+func ForEachChunk(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = min(workers, n)
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	// 4 chunks per worker keeps the tail balanced without flooding the
+	// scheduler.
+	chunks := workers * 4
+	if chunks > n {
+		chunks = workers
+	}
+	size := (n + chunks - 1) / chunks
+	count := (n + size - 1) / size
+	ForEach(workers, count, func(c int) {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// Threshold is the job count below which a parallel stage should stay on
+// the sequential path: forking goroutines for a handful of tracks or
+// conflict sets costs more than it saves. Callers compare their own work
+// sizes against it so the cutover is deterministic (a function of problem
+// size, never of timing).
+const Threshold = 64
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Resolve(n); got != n {
+			t.Errorf("Resolve(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestForEachCoversEverySlotOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 5, 63, 64, 1000} {
+			hits := make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: slot %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSequentialIsInlineAndOrdered(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("workers=1 order = %v, want ascending", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("workers=1 ran %d jobs, want 5", len(order))
+	}
+}
+
+func TestForEachChunkCoversRangeExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		for _, n := range []int{0, 1, 3, 64, 65, 997} {
+			hits := make([]int32, n)
+			ForEachChunk(workers, n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachDeterministicSlots is the contract the pipeline relies on:
+// per-slot writes then an ordered reduce give the same result for every
+// worker count.
+func TestForEachDeterministicSlots(t *testing.T) {
+	const n = 500
+	reduce := func(workers int) float64 {
+		slots := make([]float64, n)
+		ForEach(workers, n, func(i int) {
+			slots[i] = float64(i) * 0.1
+		})
+		sum := 0.0
+		for _, v := range slots {
+			sum += v
+		}
+		return sum
+	}
+	want := reduce(1)
+	for _, w := range []int{2, 4, 16} {
+		if got := reduce(w); got != want {
+			t.Errorf("workers=%d reduce = %v, want %v", w, got, want)
+		}
+	}
+}

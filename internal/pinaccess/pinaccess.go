@@ -17,6 +17,13 @@
 // Intervals of the same net with identical (track, span) are deduplicated;
 // an interval that fully covers several same-net pins serves all of them
 // (an intra-panel connection, preferred by the optimizer).
+//
+// Generation is track-sharded: candidate enumeration — the O(m*n) cut-line
+// work plus covered-pin scans — is independent per routing track and runs
+// on Options.Workers goroutines, while interval IDs are assigned by a
+// serial merge that replays the candidates in canonical (pin, track) order.
+// The produced Set is therefore byte-identical for every worker count,
+// including the fully sequential Workers <= 1 path.
 package pinaccess
 
 import (
@@ -25,6 +32,7 @@ import (
 
 	"cpr/internal/design"
 	"cpr/internal/geom"
+	"cpr/internal/parallel"
 )
 
 // Interval is a candidate pin access interval on a single M2 track.
@@ -106,6 +114,10 @@ type Options struct {
 	// bounding box", which keeps M2 strips short when M2 routing is not
 	// favoured for long nets.
 	MaxSpanRadius int
+	// Workers bounds the goroutines used for the per-track candidate
+	// enumeration phase (<= 1 is sequential). The generated Set is
+	// byte-identical for every value.
+	Workers int
 }
 
 // Generate enumerates pin access intervals for the given pins with
@@ -127,17 +139,6 @@ func GenerateWithOptions(d *design.Design, idx *design.TrackIndex, pinIDs []int,
 		net, track, lo, hi int
 	}
 	seen := make(map[key]int)
-
-	// netBBoxX caches per-net horizontal bounding spans.
-	netBBoxX := make(map[int]geom.Interval)
-	bboxOf := func(netID int) geom.Interval {
-		if iv, ok := netBBoxX[netID]; ok {
-			return iv
-		}
-		iv := d.NetBBox(netID).XSpan()
-		netBBoxX[netID] = iv
-		return iv
-	}
 
 	addInterval := func(netID, track int, span geom.Interval, coveredPins []int, minFor int) {
 		k := key{netID, track, span.Lo, span.Hi}
@@ -173,67 +174,38 @@ func GenerateWithOptions(d *design.Design, idx *design.TrackIndex, pinIDs []int,
 		if pid < 0 || pid >= len(d.Pins) {
 			return nil, fmt.Errorf("pinaccess: pin ID %d out of range", pid)
 		}
-		pin := &d.Pins[pid]
-		seed := pin.Shape.XSpan()
-		bbox := bboxOf(pin.NetID)
-		if opts.MaxSpanRadius > 0 {
-			c := pin.Shape.CenterX()
-			window := geom.Interval{Lo: c - opts.MaxSpanRadius, Hi: c + opts.MaxSpanRadius}
-			bbox = bbox.Intersect(window).Union(seed)
+	}
+
+	// Phase 1 — per-track candidate enumeration, sharded across workers.
+	// Each track is an independent job: candidate spans depend only on the
+	// read-only design and track index, and every job writes to its own
+	// result slot.
+	tracks, trackPins := trackShards(d, s.PinIDs)
+	shards := make([][]pinCandidates, len(tracks))
+	parallel.ForEach(opts.Workers, len(tracks), func(ti int) {
+		t := tracks[ti]
+		for _, pid := range trackPins[ti] {
+			if cands := enumerateCandidates(d, idx, pid, t, opts); len(cands) > 0 {
+				shards[ti] = append(shards[ti], pinCandidates{pid: pid, cands: cands})
+			}
 		}
+	})
+
+	// Phase 2 — deterministic ordered merge: replay candidates in the
+	// canonical (ascending pin, ascending track) order, which assigns the
+	// same interval IDs as a fully sequential enumeration would.
+	type pinTrack struct{ pid, track int }
+	byPinTrack := make(map[pinTrack][]candidate)
+	for ti := range tracks {
+		for _, pc := range shards[ti] {
+			byPinTrack[pinTrack{pc.pid, tracks[ti]}] = pc.cands
+		}
+	}
+	for _, pid := range s.PinIDs {
+		pin := &d.Pins[pid]
 		for t := pin.Shape.Y0; t <= pin.Shape.Y1; t++ {
-			free := idx.FreeSpanAround(t, seed)
-			if free.Empty() {
-				// The pin's own span is blocked on this track; no
-				// interval can cover the pin here.
-				continue
-			}
-			maxSpan := free.Intersect(bbox)
-			if !maxSpan.ContainsInterval(seed) {
-				// Defensive: the bbox always contains the pin, so this
-				// only happens on malformed designs.
-				maxSpan = maxSpan.Union(seed)
-			}
-
-			// Minimum interval (Theorem 1 anchor).
-			addInterval(pin.NetID, t, seed, []int{pid}, pid)
-
-			// Cut-line candidates from diff-net pins on this track.
-			lefts := []int{maxSpan.Lo}
-			rights := []int{maxSpan.Hi}
-			for _, qid := range idx.PinsOnTrack(t) {
-				if qid == pid {
-					continue
-				}
-				q := &d.Pins[qid]
-				if q.NetID == pin.NetID {
-					continue
-				}
-				qs := q.Shape.XSpan()
-				if qs.Hi < seed.Lo && qs.Hi+1 > maxSpan.Lo {
-					lefts = append(lefts, qs.Hi+1)
-				}
-				if qs.Lo > seed.Hi && qs.Lo-1 < maxSpan.Hi {
-					rights = append(rights, qs.Lo-1)
-				}
-			}
-			lefts = dedupInts(lefts)
-			rights = dedupInts(rights)
-
-			for _, lo := range lefts {
-				for _, hi := range rights {
-					span := geom.Interval{Lo: lo, Hi: hi}
-					if span == seed {
-						continue // already added as the minimum interval
-					}
-					covered := coveredPins(d, idx, pin.NetID, t, span)
-					if !containsInt(covered, pid) {
-						// Cannot happen: span contains seed by
-						// construction. Guard anyway.
-						continue
-					}
-					addInterval(pin.NetID, t, span, covered, -1)
-				}
+			for _, c := range byPinTrack[pinTrack{pid, t}] {
+				addInterval(pin.NetID, t, c.span, c.covered, c.minFor)
 			}
 		}
 	}
@@ -258,6 +230,117 @@ func GenerateWithOptions(d *design.Design, idx *design.TrackIndex, pinIDs []int,
 		}
 	}
 	return s, nil
+}
+
+// candidate is one enumerated pin access interval before ID assignment.
+type candidate struct {
+	span    geom.Interval
+	covered []int
+	minFor  int
+}
+
+// pinCandidates couples one requested pin with its ordered candidate list
+// on a single track.
+type pinCandidates struct {
+	pid   int
+	cands []candidate
+}
+
+// trackShards groups the requested pins by the tracks their shapes overlap:
+// tracks ascending, each track's pins ascending and deduplicated. Every
+// (track, pins) pair is one independent enumeration job.
+func trackShards(d *design.Design, sortedPinIDs []int) (tracks []int, trackPins [][]int) {
+	pinsByTrack := make(map[int][]int)
+	prev := -1
+	for _, pid := range sortedPinIDs {
+		if pid == prev {
+			continue // duplicate request: enumerate once, merge replays it
+		}
+		prev = pid
+		sh := d.Pins[pid].Shape
+		for t := sh.Y0; t <= sh.Y1; t++ {
+			pinsByTrack[t] = append(pinsByTrack[t], pid)
+		}
+	}
+	tracks = make([]int, 0, len(pinsByTrack))
+	for t := range pinsByTrack {
+		tracks = append(tracks, t)
+	}
+	sort.Ints(tracks)
+	trackPins = make([][]int, len(tracks))
+	for i, t := range tracks {
+		trackPins[i] = pinsByTrack[t]
+	}
+	return tracks, trackPins
+}
+
+// enumerateCandidates lists pin pid's candidate intervals on track t in the
+// canonical order: the minimum interval first (the Theorem 1 anchor), then
+// the cut-line combinations left-to-right. It only reads the design and
+// index, so calls are safe to run concurrently.
+func enumerateCandidates(d *design.Design, idx *design.TrackIndex, pid, t int, opts Options) []candidate {
+	pin := &d.Pins[pid]
+	seed := pin.Shape.XSpan()
+	free := idx.FreeSpanAround(t, seed)
+	if free.Empty() {
+		// The pin's own span is blocked on this track; no interval can
+		// cover the pin here.
+		return nil
+	}
+	bbox := d.NetBBox(pin.NetID).XSpan()
+	if opts.MaxSpanRadius > 0 {
+		c := pin.Shape.CenterX()
+		window := geom.Interval{Lo: c - opts.MaxSpanRadius, Hi: c + opts.MaxSpanRadius}
+		bbox = bbox.Intersect(window).Union(seed)
+	}
+	maxSpan := free.Intersect(bbox)
+	if !maxSpan.ContainsInterval(seed) {
+		// Defensive: the bbox always contains the pin, so this only
+		// happens on malformed designs.
+		maxSpan = maxSpan.Union(seed)
+	}
+
+	// Minimum interval (Theorem 1 anchor).
+	out := []candidate{{span: seed, covered: []int{pid}, minFor: pid}}
+
+	// Cut-line candidates from diff-net pins on this track.
+	lefts := []int{maxSpan.Lo}
+	rights := []int{maxSpan.Hi}
+	for _, qid := range idx.PinsOnTrack(t) {
+		if qid == pid {
+			continue
+		}
+		q := &d.Pins[qid]
+		if q.NetID == pin.NetID {
+			continue
+		}
+		qs := q.Shape.XSpan()
+		if qs.Hi < seed.Lo && qs.Hi+1 > maxSpan.Lo {
+			lefts = append(lefts, qs.Hi+1)
+		}
+		if qs.Lo > seed.Hi && qs.Lo-1 < maxSpan.Hi {
+			rights = append(rights, qs.Lo-1)
+		}
+	}
+	lefts = dedupInts(lefts)
+	rights = dedupInts(rights)
+
+	for _, lo := range lefts {
+		for _, hi := range rights {
+			span := geom.Interval{Lo: lo, Hi: hi}
+			if span == seed {
+				continue // already added as the minimum interval
+			}
+			covered := coveredPins(d, idx, pin.NetID, t, span)
+			if !containsInt(covered, pid) {
+				// Cannot happen: span contains seed by construction.
+				// Guard anyway.
+				continue
+			}
+			out = append(out, candidate{span: span, covered: covered, minFor: -1})
+		}
+	}
+	return out
 }
 
 // coveredPins returns the same-net pins on the track whose spans lie fully

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cpr/internal/cliutil"
 	"cpr/internal/design"
 	"cpr/internal/designio"
 	"cpr/internal/synth"
@@ -25,7 +26,7 @@ import (
 func main() {
 	var (
 		out      = flag.String("out", ".", "output directory")
-		circuits = flag.String("circuits", "ecc,efc,ctl,alu,div,top", "comma-separated circuit names")
+		circuits = cliutil.Circuits(cliutil.AllCircuits, "")
 		sweep    = flag.String("sweep", "", "comma-separated pin counts for Figure 6 sweep instances")
 	)
 	flag.Parse()
@@ -75,7 +76,4 @@ func write(dir string, d *design.Design) {
 	fmt.Printf("%-24s %6d nets %6d pins %4d panels\n", path, st.Nets, st.Pins, st.Panels)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchgen:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal("benchgen", err) }

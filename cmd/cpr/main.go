@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"cpr/internal/cliutil"
 	"cpr/internal/core"
 	"cpr/internal/design"
 	"cpr/internal/designio"
@@ -32,11 +33,11 @@ func main() {
 		nets       = flag.Int("nets", 200, "net count for a custom synthetic circuit")
 		width      = flag.Int("width", 200, "grid width for a custom circuit")
 		height     = flag.Int("height", 100, "grid height for a custom circuit")
-		seed       = flag.Int64("seed", 1, "generator seed for a custom circuit")
-		mode       = flag.String("mode", "cpr", "routing flow: cpr, nopinopt, sequential")
-		optimizer  = flag.String("optimizer", "lr", "pin access optimizer for cpr mode: lr, ilp")
-		workers    = flag.Int("workers", 0, "pin optimization worker count (0 = GOMAXPROCS, 1 = sequential; results are identical)")
-		ilpTimeout = flag.Duration("ilp-timeout", 30*time.Second, "per-panel ILP time limit")
+		seed       = cliutil.Seed(1)
+		mode       = cliutil.Mode()
+		optimizer  = cliutil.Optimizer()
+		workers    = cliutil.Workers()
+		ilpTimeout = cliutil.ILPTimeout(30 * time.Second)
 		verbose    = flag.Bool("v", false, "print pin optimization and stage details")
 		loadPath   = flag.String("load", "", "load the design from a cpr-design file instead of generating")
 		savePath   = flag.String("save", "", "write the design to a cpr-design file before routing")
@@ -72,23 +73,11 @@ func main() {
 	}
 
 	opts := core.Options{ILP: ilp.Config{TimeLimit: *ilpTimeout}, Workers: *workers}
-	switch *mode {
-	case "cpr":
-		opts.Mode = core.ModeCPR
-	case "nopinopt":
-		opts.Mode = core.ModeNoPinOpt
-	case "sequential":
-		opts.Mode = core.ModeSequential
-	default:
-		fatal(fmt.Errorf("unknown -mode %q (want cpr, nopinopt, sequential)", *mode))
+	if opts.Mode, err = cliutil.ParseMode(*mode); err != nil {
+		fatal(err)
 	}
-	switch *optimizer {
-	case "lr":
-		opts.Optimizer = core.OptLR
-	case "ilp":
-		opts.Optimizer = core.OptILP
-	default:
-		fatal(fmt.Errorf("unknown -optimizer %q (want lr, ilp)", *optimizer))
+	if opts.Optimizer, err = cliutil.ParseOptimizer(*optimizer); err != nil {
+		fatal(err)
 	}
 
 	res, err := core.Run(d, opts)
@@ -139,7 +128,4 @@ func buildDesign(circuit string, nets, width, height int, seed int64) (*design.D
 	})
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cpr:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal("cpr", err) }

@@ -1,0 +1,96 @@
+// Command cprd is the pin-access-optimization service daemon: a
+// long-running HTTP/JSON server that accepts design-optimization
+// requests, runs them through the CPR pipeline on a bounded job manager,
+// and serves repeat submissions from a content-addressed result cache.
+//
+// Usage:
+//
+//	cprd                                  # listen on :8080
+//	cprd -addr 127.0.0.1:9090 -max-jobs 4 -queue-cap 128
+//	cprd -job-timeout 2m -cache-cap 4096 -workers 0
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/healthz,
+// GET /v1/stats, GET /debug/vars. On SIGTERM/SIGINT the daemon stops
+// accepting jobs, drains in-flight work (bounded by -drain-timeout, with
+// running jobs canceled at the deadline), and exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cpr/internal/cache"
+	"cpr/internal/cliutil"
+	"cpr/internal/core"
+	"cpr/internal/design"
+	"cpr/internal/jobs"
+	"cpr/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		maxJobs      = flag.Int("max-jobs", 2, "max concurrently running jobs")
+		queueCap     = flag.Int("queue-cap", 64, "max queued jobs before 429 backpressure")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job execution deadline (0 = none)")
+		cacheCap     = flag.Int("cache-cap", 1024, "max cached results (LRU eviction)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+		workers      = cliutil.Workers()
+	)
+	flag.Parse()
+
+	resultCache := cache.New[*core.RunResult](*cacheCap)
+	mgr := jobs.New(jobs.Config{
+		MaxConcurrent: *maxJobs,
+		QueueCap:      *queueCap,
+		JobTimeout:    *jobTimeout,
+		Run: func(ctx context.Context, d *design.Design, opts core.Options) (*core.RunResult, error) {
+			if opts.Workers == 0 {
+				opts.Workers = *workers
+			}
+			return core.RunContext(ctx, d, opts)
+		},
+	}, resultCache)
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(mgr).Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("cprd: listening on %s (max-jobs=%d queue-cap=%d job-timeout=%v cache-cap=%d)",
+			*addr, *maxJobs, *queueCap, *jobTimeout, *cacheCap)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("cprd: received %v, draining (timeout %v)", sig, *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("cprd: server error: %v", err)
+	}
+
+	// Drain first so /v1/jobs rejects with 503 while status endpoints
+	// keep answering, then close the listener.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := mgr.Drain(drainCtx); err != nil {
+		log.Printf("cprd: drain deadline hit, canceled in-flight jobs: %v", err)
+	} else {
+		log.Printf("cprd: drained cleanly")
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("cprd: http shutdown: %v", err)
+	}
+	log.Printf("cprd: exit")
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"cpr/client"
+)
+
+// TestDaemonEndToEnd builds the real cprd binary, drives it over HTTP —
+// submit, cache hit on identical resubmission, stats — then SIGTERMs it
+// with a job in flight and asserts the drain finishes the job and the
+// process exits cleanly.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping daemon binary end-to-end test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "cprd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building cprd: %v\n%s", err, out)
+	}
+
+	// Reserve a port; the tiny race between Close and the daemon's bind
+	// is acceptable for a test.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserving port: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	var stderr bytes.Buffer
+	proc := exec.Command(bin, "-addr", addr, "-max-jobs", "2", "-drain-timeout", "60s")
+	proc.Stderr = &stderr
+	if err := proc.Start(); err != nil {
+		t.Fatalf("starting cprd: %v", err)
+	}
+	defer proc.Process.Kill()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := client.New("http://" + addr)
+	for {
+		if _, err := c.Health(ctx); err == nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("daemon never became healthy; stderr:\n%s", stderr.String())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	spec := client.Spec{Name: "e2e", Nets: 30, Width: 100, Height: 40, Seed: 17}
+	first, err := c.Submit(ctx, client.SubmitRequest{Spec: &spec, Wait: true})
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if first.State != "done" || first.Cached || first.Result == nil {
+		t.Fatalf("first job = %+v, want done uncached with result", first)
+	}
+	second, err := c.Submit(ctx, client.SubmitRequest{Spec: &spec, Wait: true})
+	if err != nil {
+		t.Fatalf("second submit: %v", err)
+	}
+	if second.State != "done" || !second.Cached {
+		t.Fatalf("second job = %+v, want served from cache", second)
+	}
+	if second.Result.Metrics != first.Result.Metrics {
+		t.Fatalf("cached metrics differ:\n first  %+v\n second %+v",
+			first.Result.Metrics, second.Result.Metrics)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Cache.Hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", st.Cache.Hits)
+	}
+
+	// Leave a bigger job in flight, then ask for a graceful shutdown.
+	inflight := client.Spec{Name: "e2e-slow", Nets: 200, Width: 200, Height: 80, Seed: 23}
+	if _, err := c.Submit(ctx, client.SubmitRequest{Spec: &inflight}); err != nil {
+		t.Fatalf("in-flight submit: %v", err)
+	}
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+
+	exited := make(chan error, 1)
+	go func() { exited <- proc.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM; stderr:\n%s", stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("drained cleanly")) {
+		t.Fatalf("drain did not complete the in-flight job; stderr:\n%s", stderr.String())
+	}
+}

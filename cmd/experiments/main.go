@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"cpr/internal/cliutil"
 	"cpr/internal/experiments"
 )
 
@@ -29,9 +30,9 @@ func main() {
 		ablation = flag.String("ablation", "", "run an ablation: profit, tiebreak, alpha, refinement, subgradient, cutmask")
 		all      = flag.Bool("all", false, "run every experiment")
 		quick    = flag.Bool("quick", false, "scaled-down effort (seconds instead of minutes)")
-		circuits = flag.String("circuits", "", "comma-separated circuit subset (default all six)")
-		ilpLimit = flag.Duration("ilp-timeout", 0, "override ILP time limit")
-		workers  = flag.Int("workers", 0, "pin optimization worker count (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		circuits = cliutil.Circuits("", "empty runs all six")
+		ilpLimit = cliutil.ILPTimeout(0)
+		workers  = cliutil.Workers()
 	)
 	flag.Parse()
 

@@ -12,10 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"cpr/internal/assign"
+	"cpr/internal/cliutil"
 	"cpr/internal/core"
 	"cpr/internal/design"
 	"cpr/internal/ilp"
@@ -29,12 +29,12 @@ func main() {
 	var (
 		circuit    = flag.String("circuit", "", "Table 2 circuit (per-panel optimization); empty uses -pins")
 		pins       = flag.Int("pins", 400, "target pin count for a single whole-design instance")
-		seed       = flag.Int64("seed", 77, "generator seed")
+		seed       = cliutil.Seed(77)
 		runILP     = flag.Bool("ilp", false, "also solve exactly with branch-and-bound ILP")
-		ilpTimeout = flag.Duration("ilp-timeout", 60*time.Second, "ILP time limit")
+		ilpTimeout = cliutil.ILPTimeout(60 * time.Second)
 		ub         = flag.Int("ub", 200, "LR iteration upper bound")
 		alpha      = flag.Float64("alpha", 0.95, "LR subgradient step exponent")
-		workers    = flag.Int("workers", 0, "optimization worker count (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		workers    = cliutil.Workers()
 	)
 	flag.Parse()
 
@@ -115,7 +115,4 @@ func buildModel(d *design.Design, workers int) (*assign.Model, error) {
 	return assign.BuildWorkers(set, assign.SqrtProfit, parallel.Resolve(workers)), nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pinopt:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal("pinopt", err) }

@@ -28,6 +28,7 @@
 package cpr
 
 import (
+	"context"
 	"io"
 
 	"cpr/internal/assign"
@@ -159,6 +160,19 @@ func CircuitByName(name string) (Spec, error) { return synth.SpecByName(name) }
 // byte-identical for every worker count; only wall-clock fields such as
 // Metrics.CPUSeconds vary between runs.
 func Run(d *Design, opts Options) (*RunResult, error) { return core.Run(d, opts) }
+
+// RunContext is Run with cancellation: ctx is polled between panel
+// subproblems, between LR subgradient iterations, and between pipeline
+// stages, so a canceled or timed-out run stops promptly with an error
+// wrapping ctx.Err(). A context that never fires leaves the result
+// byte-identical to Run.
+func RunContext(ctx context.Context, d *Design, opts Options) (*RunResult, error) {
+	return core.RunContext(ctx, d, opts)
+}
+
+// DesignHash returns the hex SHA-256 of the design's canonical cpr-design
+// encoding — the content address the cprd daemon's result cache keys on.
+func DesignHash(d *Design) (string, error) { return designio.Hash(d) }
 
 // OptimizePinAccess runs concurrent pin access optimization only (no
 // routing) and returns per-panel reports plus the interval seeds.

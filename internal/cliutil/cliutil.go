@@ -1,0 +1,88 @@
+// Package cliutil centralizes the flag spellings, default values, and
+// help strings shared by the cpr command-line tools (cpr, pinopt,
+// experiments, benchgen, cprd), so -workers/-seed/-mode and friends
+// cannot drift between binaries again.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cpr/internal/core"
+)
+
+// AllCircuits is the canonical -circuits default covering every Table 2
+// preset.
+const AllCircuits = "ecc,efc,ctl,alu,div,top"
+
+// Workers registers the canonical -workers flag on the default flag set.
+func Workers() *int {
+	return flag.Int("workers", 0,
+		"optimization worker count (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+}
+
+// Seed registers the canonical -seed flag with a tool-specific default.
+func Seed(def int64) *int64 {
+	return flag.Int64("seed", def, "deterministic generator seed")
+}
+
+// Mode registers the canonical -mode flag (parse with ParseMode).
+func Mode() *string {
+	return flag.String("mode", "cpr", "routing flow: cpr, nopinopt, sequential")
+}
+
+// Optimizer registers the canonical -optimizer flag (parse with
+// ParseOptimizer).
+func Optimizer() *string {
+	return flag.String("optimizer", "lr", "pin access optimizer for cpr mode: lr, ilp")
+}
+
+// Circuits registers the canonical -circuits flag with a tool-specific
+// default ("" means the tool treats absence specially).
+func Circuits(def, extra string) *string {
+	usage := "comma-separated Table 2 circuit names (ecc efc ctl alu div top)"
+	if extra != "" {
+		usage += "; " + extra
+	}
+	return flag.String("circuits", def, usage)
+}
+
+// ILPTimeout registers the canonical -ilp-timeout flag with a
+// tool-specific default.
+func ILPTimeout(def time.Duration) *time.Duration {
+	return flag.Duration("ilp-timeout", def, "per-panel ILP time limit (0 = no cap)")
+}
+
+// ParseMode maps a -mode value onto core.Mode.
+func ParseMode(s string) (core.Mode, error) {
+	switch s {
+	case "cpr":
+		return core.ModeCPR, nil
+	case "nopinopt":
+		return core.ModeNoPinOpt, nil
+	case "sequential":
+		return core.ModeSequential, nil
+	default:
+		return 0, fmt.Errorf("unknown -mode %q (want cpr, nopinopt, sequential)", s)
+	}
+}
+
+// ParseOptimizer maps an -optimizer value onto core.Optimizer.
+func ParseOptimizer(s string) (core.Optimizer, error) {
+	switch s {
+	case "lr":
+		return core.OptLR, nil
+	case "ilp":
+		return core.OptILP, nil
+	default:
+		return 0, fmt.Errorf("unknown -optimizer %q (want lr, ilp)", s)
+	}
+}
+
+// Fatal prints a tool-prefixed error and exits 1.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}

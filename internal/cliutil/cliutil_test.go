@@ -1,0 +1,36 @@
+package cliutil
+
+import (
+	"testing"
+
+	"cpr/internal/core"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]core.Mode{
+		"cpr":        core.ModeCPR,
+		"nopinopt":   core.ModeNoPinOpt,
+		"sequential": core.ModeSequential,
+	}
+	for in, want := range cases {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("warp"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+}
+
+func TestParseOptimizer(t *testing.T) {
+	if got, err := ParseOptimizer("lr"); err != nil || got != core.OptLR {
+		t.Errorf("ParseOptimizer(lr) = %v, %v", got, err)
+	}
+	if got, err := ParseOptimizer("ilp"); err != nil || got != core.OptILP {
+		t.Errorf("ParseOptimizer(ilp) = %v, %v", got, err)
+	}
+	if _, err := ParseOptimizer("sat"); err == nil {
+		t.Error("ParseOptimizer accepted an unknown optimizer")
+	}
+}

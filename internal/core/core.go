@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -137,9 +138,23 @@ type RunResult struct {
 	Metrics metrics.Routing
 }
 
-// Run executes the selected flow on a validated design.
+// Run executes the selected flow on a validated design. It is the
+// background-context wrapper around RunContext.
 func Run(d *design.Design, opts Options) (*RunResult, error) {
+	return RunContext(context.Background(), d, opts)
+}
+
+// RunContext executes the selected flow on a validated design,
+// honouring ctx for cancellation: the context is polled between panel
+// subproblems, between LR subgradient iterations, and between pipeline
+// stages, so a canceled or timed-out run stops doing work promptly and
+// returns an error wrapping ctx.Err(). A context that never fires
+// leaves the computation byte-identical to Run.
+func RunContext(ctx context.Context, d *design.Design, opts Options) (*RunResult, error) {
 	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if opts.Profit == nil {
@@ -151,11 +166,14 @@ func Run(d *design.Design, opts Options) (*RunResult, error) {
 
 	switch opts.Mode {
 	case ModeCPR:
-		report, seeds, err := OptimizePinAccess(d, opts)
+		report, seeds, err := OptimizePinAccessContext(ctx, d, opts)
 		if err != nil {
 			return nil, err
 		}
 		res.PinOpt = report
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 		for _, s := range seeds {
 			r.SeedAssignment(s.Set, s.Solution)
 		}
@@ -166,6 +184,9 @@ func Run(d *design.Design, opts Options) (*RunResult, error) {
 		res.Router = r.RunSequential(opts.Sequential)
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", opts.Mode)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 
 	res.Metrics = metrics.FromResult(d, res.Router)
@@ -188,6 +209,14 @@ type PanelSeed struct {
 // subproblems solved concurrently on opts.Workers workers (default
 // GOMAXPROCS) with byte-identical results for every worker count.
 func OptimizePinAccess(d *design.Design, opts Options) (*PinOptReport, []PanelSeed, error) {
+	return OptimizePinAccessContext(context.Background(), d, opts)
+}
+
+// OptimizePinAccessContext is OptimizePinAccess with cancellation: ctx is
+// checked before each panel subproblem starts and between the LR
+// subgradient iterations inside each panel, so a canceled run abandons
+// remaining work and reports an error wrapping ctx.Err().
+func OptimizePinAccessContext(ctx context.Context, d *design.Design, opts Options) (*PinOptReport, []PanelSeed, error) {
 	if opts.Profit == nil {
 		opts.Profit = assign.SqrtProfit
 	}
@@ -217,6 +246,10 @@ func OptimizePinAccess(d *design.Design, opts Options) (*PinOptReport, []PanelSe
 	}
 	results := make([]panelResult, len(panels))
 	solve := func(slot, panel int) {
+		if err := ctx.Err(); err != nil {
+			results[slot].err = fmt.Errorf("core: panel %d: %w", panel, err)
+			return
+		}
 		pins := d.PinsInPanel(panel)
 		set, err := pinaccess.GenerateWithOptions(d, idx, pins, pinaccess.Options{Workers: inner})
 		if err != nil {
@@ -224,7 +257,7 @@ func OptimizePinAccess(d *design.Design, opts Options) (*PinOptReport, []PanelSe
 			return
 		}
 		model := assign.BuildWorkers(set, opts.Profit, inner)
-		sol, converged, err := solvePanel(model, opts, inner)
+		sol, converged, err := solvePanel(ctx, model, opts, inner)
 		if err != nil {
 			results[slot].err = fmt.Errorf("core: panel %d: %w", panel, err)
 			return
@@ -274,7 +307,7 @@ func OptimizePinAccess(d *design.Design, opts Options) (*PinOptReport, []PanelSe
 // its limits falls back to the LR solution, mirroring how a production
 // flow would degrade. workers bounds the LR solver's per-iteration
 // concurrency unless the caller pinned it explicitly in opts.LR.
-func solvePanel(model *assign.Model, opts Options, workers int) (*assign.Solution, bool, error) {
+func solvePanel(ctx context.Context, model *assign.Model, opts Options, workers int) (*assign.Solution, bool, error) {
 	if opts.Optimizer == OptILP {
 		sol, res, err := model.SolveILP(opts.ILP)
 		if err == nil {
@@ -286,6 +319,12 @@ func solvePanel(model *assign.Model, opts Options, workers int) (*assign.Solutio
 	if lrCfg.Workers == 0 {
 		lrCfg.Workers = workers
 	}
+	if lrCfg.Stop == nil && ctx.Done() != nil {
+		lrCfg.Stop = func() bool { return ctx.Err() != nil }
+	}
 	res := lagrange.Solve(model, lrCfg)
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	return res.Solution, res.Converged, nil
 }

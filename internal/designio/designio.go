@@ -19,6 +19,8 @@ package designio
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"strconv"
@@ -55,6 +57,19 @@ func Write(w io.Writer, d *design.Design) error {
 			b.Layer, b.Shape.X0, b.Shape.Y0, b.Shape.X1, b.Shape.Y1)
 	}
 	return bw.Flush()
+}
+
+// Hash returns the hex SHA-256 of the design's canonical cpr-design
+// encoding. Because Write is deterministic — nets in ID order, pins in ID
+// order, blockages in declaration order — two designs hash equal exactly
+// when their canonical encodings are byte-identical, which makes the hash
+// usable as a content address (the cprd result cache keys on it).
+func Hash(d *design.Design) (string, error) {
+	h := sha256.New()
+	if err := Write(h, d); err != nil {
+		return "", fmt.Errorf("designio: hash: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // sanitize replaces whitespace in names so the format stays line-parsable.

@@ -1,0 +1,61 @@
+package designio
+
+import (
+	"strings"
+	"testing"
+
+	"cpr/internal/synth"
+)
+
+func TestHashIsContentAddress(t *testing.T) {
+	gen := func(seed int64) string {
+		d, err := synth.Generate(synth.Spec{Name: "hash", Nets: 30, Width: 90, Height: 30, Seed: seed})
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		h, err := Hash(d)
+		if err != nil {
+			t.Fatalf("hash: %v", err)
+		}
+		return h
+	}
+	a, b := gen(1), gen(1)
+	if a != b {
+		t.Fatalf("identical designs hash differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("hash is not hex sha256: %q", a)
+	}
+	if c := gen(2); c == a {
+		t.Fatal("different designs collided")
+	}
+}
+
+// TestHashSurvivesRoundTrip pins the property the daemon cache depends
+// on: a design that travels through the text format (e.g. submitted
+// inline over HTTP) keeps its content address.
+func TestHashSurvivesRoundTrip(t *testing.T) {
+	d, err := synth.Generate(synth.Spec{Name: "rt", Nets: 25, Width: 80, Height: 30, Seed: 4})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	before, err := Hash(d)
+	if err != nil {
+		t.Fatalf("hash: %v", err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, d); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	parsed, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	after, err := Hash(parsed)
+	if err != nil {
+		t.Fatalf("hash: %v", err)
+	}
+	if before != after {
+		t.Fatalf("hash changed across round trip: %s vs %s", before, after)
+	}
+}

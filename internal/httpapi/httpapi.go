@@ -1,0 +1,116 @@
+// Package httpapi defines the JSON wire types of the cprd HTTP API,
+// shared by internal/server (the daemon) and client (the Go client) so
+// the two cannot drift.
+package httpapi
+
+import (
+	"cpr/internal/cache"
+	"cpr/internal/jobs"
+	"cpr/internal/metrics"
+)
+
+// SubmitRequest is the body of POST /v1/jobs. Exactly one of Design
+// (inline cpr-design text) or Spec (a synthetic circuit to generate)
+// must be set.
+type SubmitRequest struct {
+	// Design is a complete design in the cpr-design text format.
+	Design string `json:"design,omitempty"`
+	// Spec generates a deterministic synthetic circuit server-side.
+	Spec *Spec `json:"spec,omitempty"`
+	// Options tunes the optimization flow; nil takes the defaults
+	// (ModeCPR with LR optimization).
+	Options *Options `json:"options,omitempty"`
+	// Wait blocks the request until the job is terminal (bounded by the
+	// server's job timeout and the client's request context) and
+	// returns the finished job.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// Spec mirrors synth.Spec for the wire.
+type Spec struct {
+	Name             string  `json:"name,omitempty"`
+	Circuit          string  `json:"circuit,omitempty"` // Table 2 preset name; overrides the numeric fields
+	Nets             int     `json:"nets,omitempty"`
+	Width            int     `json:"width,omitempty"`
+	Height           int     `json:"height,omitempty"`
+	Seed             int64   `json:"seed,omitempty"`
+	BlockageFraction float64 `json:"blockage_fraction,omitempty"`
+}
+
+// Options is the wire form of the result-affecting core.Options fields
+// plus the worker count (which never affects results, only wall clock).
+type Options struct {
+	// Mode is "cpr" (default), "nopinopt", or "sequential".
+	Mode string `json:"mode,omitempty"`
+	// Optimizer is "lr" (default) or "ilp".
+	Optimizer string `json:"optimizer,omitempty"`
+	// Workers bounds the per-job pipeline concurrency (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// LRMaxIterations overrides the LR iteration bound (0 = default 200).
+	LRMaxIterations int `json:"lr_max_iterations,omitempty"`
+	// LRAlpha overrides the subgradient step exponent (0 = default 0.95).
+	LRAlpha float64 `json:"lr_alpha,omitempty"`
+	// ILPTimeLimitMS caps the per-panel exact solver (0 = no cap).
+	ILPTimeLimitMS int64 `json:"ilp_time_limit_ms,omitempty"`
+	// ILPMaxNodes caps branch-and-bound nodes (0 = no cap).
+	ILPMaxNodes int `json:"ilp_max_nodes,omitempty"`
+	// MaxNegotiationIters overrides the router's rip-up bound.
+	MaxNegotiationIters int `json:"max_negotiation_iters,omitempty"`
+}
+
+// PinOptSummary condenses a core.PinOptReport for the wire.
+type PinOptSummary struct {
+	Panels    int     `json:"panels"`
+	Pins      int     `json:"pins"`
+	Intervals int     `json:"intervals"`
+	Conflicts int     `json:"conflicts"`
+	Objective float64 `json:"objective"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Result is the completed-run payload inside a Job.
+type Result struct {
+	Mode    string          `json:"mode"`
+	Metrics metrics.Routing `json:"metrics"`
+	PinOpt  *PinOptSummary  `json:"pinopt,omitempty"`
+}
+
+// Job is the wire form of a job snapshot, returned by POST /v1/jobs and
+// GET /v1/jobs/{id}.
+type Job struct {
+	ID string `json:"id"`
+	// Key is the content address of the request (see cache.Key); empty
+	// for uncacheable requests.
+	Key   string `json:"key,omitempty"`
+	State string `json:"state"`
+	// Cached reports that the result was served from the
+	// content-addressed cache without running the optimizer.
+	Cached      bool    `json:"cached,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	RunMS       float64 `json:"run_ms"`
+	Result      *Result `json:"result,omitempty"`
+}
+
+// Stats is the body of GET /v1/stats.
+type Stats struct {
+	QueueDepth   int                        `json:"queue_depth"`
+	QueueCap     int                        `json:"queue_cap"`
+	Running      int                        `json:"running"`
+	Draining     bool                       `json:"draining"`
+	ByState      map[string]int64           `json:"jobs_by_state"`
+	Cache        cache.Stats                `json:"cache"`
+	CacheHitRate float64                    `json:"cache_hit_rate"`
+	Stages       map[string]jobs.StageStats `json:"stage_latency"`
+}
+
+// Health is the body of GET /v1/healthz.
+type Health struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining,omitempty"`
+}
+
+// Error is the uniform error body for non-2xx responses.
+type Error struct {
+	Error string `json:"error"`
+}

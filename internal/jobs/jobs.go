@@ -1,0 +1,574 @@
+// Package jobs is the bounded job manager behind the cprd daemon: it
+// accepts design-optimization requests, queues them FIFO up to a cap,
+// runs at most MaxConcurrent of them at a time through the core pipeline
+// with a per-job timeout, serves identical requests from the
+// content-addressed result cache, coalesces identical in-flight
+// submissions onto one job, and supports graceful drain.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cpr/internal/cache"
+	"cpr/internal/core"
+	"cpr/internal/design"
+	"cpr/internal/designio"
+)
+
+// State is a job's lifecycle state. Terminal states are StateDone and
+// StateFailed; a canceled or timed-out job lands in StateFailed.
+type State int
+
+const (
+	// StateQueued means the job is waiting in the FIFO queue.
+	StateQueued State = iota
+	// StateRunning means a worker is executing the job.
+	StateRunning
+	// StateDone means the job finished with a result (possibly from
+	// cache).
+	StateDone
+	// StateFailed means the job finished with an error, including
+	// cancellation and timeout.
+	StateFailed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	default:
+		return "failed"
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+var (
+	// ErrQueueFull is returned by Submit when the FIFO queue is at
+	// capacity; HTTP maps it to 429.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrDraining is returned by Submit after Drain started; HTTP maps
+	// it to 503.
+	ErrDraining = errors.New("jobs: manager draining")
+)
+
+// RunFunc executes one optimization request. The default is
+// core.RunContext; tests substitute stubs.
+type RunFunc func(ctx context.Context, d *design.Design, opts core.Options) (*core.RunResult, error)
+
+// Config tunes a Manager. Zero values take the documented defaults.
+type Config struct {
+	// MaxConcurrent is the number of jobs executed simultaneously
+	// (default 2). Each job additionally parallelizes internally per
+	// its Options.Workers.
+	MaxConcurrent int
+	// QueueCap bounds the FIFO queue of jobs waiting for a worker
+	// (default 64). Submissions beyond it fail with ErrQueueFull.
+	QueueCap int
+	// JobTimeout cancels a job's context this long after it starts
+	// running (0 = no timeout).
+	JobTimeout time.Duration
+	// RetainJobs bounds how many finished jobs stay queryable by ID
+	// (default 4096); the oldest finished jobs are forgotten first.
+	RetainJobs int
+	// Run overrides the job executor (tests only; default
+	// core.RunContext).
+	Run RunFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 4096
+	}
+	if c.Run == nil {
+		c.Run = core.RunContext
+	}
+	return c
+}
+
+// Job is one optimization request moving through the manager. All fields
+// behind mu are written by the manager only; readers use Snapshot.
+type Job struct {
+	// ID is the manager-assigned identifier ("j1", "j2", ...).
+	ID string
+	// Key is the content address of the request (cache.Key of the
+	// design hash and options fingerprint); empty for uncacheable
+	// requests (custom profit functions).
+	Key string
+
+	design *design.Design
+	opts   core.Options
+
+	mu        sync.Mutex
+	state     State
+	cached    bool
+	result    *core.RunResult
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{}
+}
+
+// Snapshot is a race-free copy of a job's observable state.
+type Snapshot struct {
+	ID        string
+	Key       string
+	State     State
+	Cached    bool
+	Result    *core.RunResult
+	Err       string
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	// QueueWait is submit-to-start (or submit-to-now while queued).
+	QueueWait time.Duration
+	// RunTime is start-to-finish (or start-to-now while running).
+	RunTime time.Duration
+}
+
+// Snapshot copies the job's observable state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:        j.ID,
+		Key:       j.Key,
+		State:     j.state,
+		Cached:    j.cached,
+		Result:    j.result,
+		Err:       j.errMsg,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+	now := time.Now()
+	switch {
+	case j.state == StateQueued:
+		s.QueueWait = now.Sub(j.submitted)
+	case !j.started.IsZero():
+		s.QueueWait = j.started.Sub(j.submitted)
+	}
+	switch {
+	case j.state == StateRunning:
+		s.RunTime = now.Sub(j.started)
+	case !j.started.IsZero() && !j.finished.IsZero():
+		s.RunTime = j.finished.Sub(j.started)
+	}
+	return s
+}
+
+// Wait blocks until the job reaches a terminal state or ctx fires.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Fingerprint renders the result-affecting fields of Options into a
+// canonical string for cache keying. Worker counts are deliberately
+// excluded — the pipeline's determinism contract makes results
+// byte-identical for every worker count — and a custom Profit function
+// yields the sentinel "profit=custom", which Submit treats as
+// uncacheable because function identity cannot be content-addressed.
+func Fingerprint(o core.Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1 mode=%s optimizer=%s", o.Mode, o.Optimizer)
+	fmt.Fprintf(&b, " lr=%d,%g,%t,%t,%t,%t",
+		o.LR.MaxIterations, o.LR.Alpha, o.LR.DisableSameNetTieBreak,
+		o.LR.FullSubgradient, o.LR.SkipRefinement, o.LR.SkipPostImprove)
+	fmt.Fprintf(&b, " ilp=%d,%d", o.ILP.MaxNodes, int64(o.ILP.TimeLimit))
+	r := o.Router
+	fmt.Fprintf(&b, " router=%d,%d,%g,%g,%g,%d,%d,%d,%d,%t",
+		r.Order, r.MaxNegotiationIters, r.PresentCostBase, r.PresentCostGrowth,
+		r.HistoryIncrement, r.WindowMargin, r.WindowGrowth, r.MaxWindowMargin,
+		r.StallRounds, r.SkipDRC)
+	s := o.Sequential
+	fmt.Fprintf(&b, " seq=%d,%d,%d,%d",
+		s.RetryRounds, s.WindowMargin, s.MaxRipsPerNet, s.VictimsPerFailure)
+	if o.Profit != nil {
+		b.WriteString(" profit=custom")
+	}
+	return b.String()
+}
+
+// stageAgg accumulates one latency family.
+type stageAgg struct {
+	count int64
+	sum   time.Duration
+	max   time.Duration
+}
+
+func (a *stageAgg) add(d time.Duration) {
+	a.count++
+	a.sum += d
+	if d > a.max {
+		a.max = d
+	}
+}
+
+// StageStats is one latency family in Stats.
+type StageStats struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Stats is a point-in-time view of the manager for /v1/stats.
+type Stats struct {
+	QueueDepth   int                   `json:"queue_depth"`
+	QueueCap     int                   `json:"queue_cap"`
+	Running      int                   `json:"running"`
+	Draining     bool                  `json:"draining"`
+	ByState      map[string]int64      `json:"jobs_by_state"`
+	Cache        cache.Stats           `json:"cache"`
+	CacheHitRate float64               `json:"cache_hit_rate"`
+	Stages       map[string]StageStats `json:"stage_latency"`
+}
+
+// Manager owns the queue, the workers, and the job registry.
+type Manager struct {
+	cfg   Config
+	cache *cache.Cache[*core.RunResult]
+
+	queue   chan *Job
+	workers sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string        // finished job IDs, oldest first, for retention
+	inflight map[string]*Job // key -> queued/running job, for coalescing
+	cancels  map[string]context.CancelFunc
+	counts   map[State]int64
+	stages   map[string]*stageAgg
+	running  int
+	seq      int64
+	draining bool
+	hardStop bool
+}
+
+// New creates a manager and starts its worker goroutines. The cache may
+// be shared with other components for stats reporting; pass nil to run
+// without caching.
+func New(cfg Config, c *cache.Cache[*core.RunResult]) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:      cfg,
+		cache:    c,
+		queue:    make(chan *Job, cfg.QueueCap),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		cancels:  make(map[string]context.CancelFunc),
+		counts:   make(map[State]int64),
+		stages:   make(map[string]*stageAgg),
+	}
+	m.workers.Add(cfg.MaxConcurrent)
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Submit registers one optimization request. The fast paths never touch
+// the optimizer: a completed identical request is answered from the
+// content-addressed cache as an immediately-done job, and an identical
+// request still queued or running is coalesced onto the existing job.
+// Otherwise the job enters the FIFO queue, or ErrQueueFull /
+// ErrDraining is returned.
+func (m *Manager) Submit(d *design.Design, opts core.Options) (*Job, error) {
+	fp := Fingerprint(opts)
+	cacheable := opts.Profit == nil
+	var key string
+	if cacheable {
+		hash, err := designio.Hash(d)
+		if err != nil {
+			return nil, err
+		}
+		key = cache.Key(hash, fp)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+	if cacheable && m.cache != nil {
+		if res, ok := m.cache.Get(key); ok {
+			job := m.newJobLocked(key, d, opts)
+			now := time.Now()
+			job.state = StateDone
+			job.cached = true
+			job.result = res
+			job.started = now
+			job.finished = now
+			close(job.done)
+			m.counts[StateDone]++
+			m.retainLocked(job.ID)
+			return job, nil
+		}
+	}
+	if cacheable {
+		if existing, ok := m.inflight[key]; ok {
+			return existing, nil
+		}
+	}
+	if len(m.queue) >= m.cfg.QueueCap {
+		return nil, ErrQueueFull
+	}
+	job := m.newJobLocked(key, d, opts)
+	m.counts[StateQueued]++
+	if cacheable {
+		m.inflight[key] = job
+	}
+	select {
+	case m.queue <- job:
+	default:
+		// Unreachable while Submit holds mu (the only sender), but keep
+		// the registry consistent if it ever fires.
+		delete(m.jobs, job.ID)
+		delete(m.inflight, key)
+		m.counts[StateQueued]--
+		return nil, ErrQueueFull
+	}
+	return job, nil
+}
+
+// newJobLocked allocates and registers a job; callers hold m.mu.
+func (m *Manager) newJobLocked(key string, d *design.Design, opts core.Options) *Job {
+	m.seq++
+	job := &Job{
+		ID:        fmt.Sprintf("j%d", m.seq),
+		Key:       key,
+		design:    d,
+		opts:      opts,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	m.jobs[job.ID] = job
+	return job
+}
+
+// retainLocked records a finished job and evicts the oldest finished
+// jobs beyond the retention cap; callers hold m.mu.
+func (m *Manager) retainLocked(id string) {
+	m.finished = append(m.finished, id)
+	for len(m.finished) > m.cfg.RetainJobs {
+		old := m.finished[0]
+		m.finished = m.finished[1:]
+		delete(m.jobs, old)
+	}
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+func (m *Manager) worker() {
+	defer m.workers.Done()
+	for job := range m.queue {
+		m.execute(job)
+	}
+}
+
+func (m *Manager) execute(job *Job) {
+	start := time.Now()
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if m.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), m.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	defer cancel()
+
+	m.mu.Lock()
+	skip := m.hardStop
+	m.counts[StateQueued]--
+	if skip {
+		m.counts[StateFailed]++
+	} else {
+		m.counts[StateRunning]++
+		m.running++
+		m.cancels[job.ID] = cancel
+	}
+	m.mu.Unlock()
+
+	job.mu.Lock()
+	job.started = start
+	queueWait := start.Sub(job.submitted)
+	if skip {
+		job.state = StateFailed
+		job.errMsg = "canceled: manager shut down before the job started"
+		job.finished = start
+	} else {
+		job.state = StateRunning
+	}
+	job.mu.Unlock()
+
+	if skip {
+		m.finish(job, queueWait, 0, nil, false)
+		return
+	}
+
+	res, err := m.cfg.Run(ctx, job.design, job.opts)
+	end := time.Now()
+
+	job.mu.Lock()
+	job.finished = end
+	if err != nil {
+		job.state = StateFailed
+		job.errMsg = err.Error()
+	} else {
+		job.state = StateDone
+		job.result = res
+	}
+	job.mu.Unlock()
+
+	if err == nil && job.Key != "" && m.cache != nil {
+		m.cache.Put(job.Key, res)
+	}
+	m.finish(job, queueWait, end.Sub(start), res, true)
+}
+
+// finish moves the job out of the live sets and folds its latencies into
+// the aggregates. ran distinguishes jobs that reached a worker from jobs
+// failed by a hard-stopped drain (those were counted failed in execute).
+func (m *Manager) finish(job *Job, queueWait, runTime time.Duration, res *core.RunResult, ran bool) {
+	job.mu.Lock()
+	state := job.state
+	job.mu.Unlock()
+
+	m.mu.Lock()
+	if ran {
+		m.counts[StateRunning]--
+		m.running--
+		m.counts[state]++
+	}
+	delete(m.cancels, job.ID)
+	if job.Key != "" && m.inflight[job.Key] == job {
+		delete(m.inflight, job.Key)
+	}
+	m.stageLocked("queue_wait").add(queueWait)
+	if ran {
+		m.stageLocked("run").add(runTime)
+	}
+	if res != nil && res.PinOpt != nil {
+		m.stageLocked("pinopt").add(res.PinOpt.Elapsed)
+	}
+	m.retainLocked(job.ID)
+	m.mu.Unlock()
+
+	close(job.done)
+}
+
+func (m *Manager) stageLocked(name string) *stageAgg {
+	a, ok := m.stages[name]
+	if !ok {
+		a = &stageAgg{}
+		m.stages[name] = a
+	}
+	return a
+}
+
+// Stats snapshots the manager counters for /v1/stats and /debug/vars.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		QueueDepth: len(m.queue),
+		QueueCap:   m.cfg.QueueCap,
+		Running:    m.running,
+		Draining:   m.draining,
+		ByState:    make(map[string]int64, len(m.counts)),
+		Stages:     make(map[string]StageStats, len(m.stages)),
+	}
+	for s, n := range m.counts {
+		if n != 0 {
+			st.ByState[s.String()] = n
+		}
+	}
+	if m.cache != nil {
+		st.Cache = m.cache.Stats()
+		st.CacheHitRate = st.Cache.HitRate()
+	}
+	names := make([]string, 0, len(m.stages))
+	for name := range m.stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := m.stages[name]
+		agg := StageStats{Count: a.count, MaxMS: float64(a.max) / float64(time.Millisecond)}
+		if a.count > 0 {
+			agg.MeanMS = float64(a.sum) / float64(a.count) / float64(time.Millisecond)
+		}
+		st.Stages[name] = agg
+	}
+	return st
+}
+
+// Drain stops accepting submissions, lets queued and running jobs finish,
+// and returns once everything is terminal. If ctx fires first, the
+// contexts of running jobs are canceled and not-yet-started queued jobs
+// are failed without running; Drain then waits for the workers to
+// acknowledge and returns ctx.Err(). Drain is idempotent; only the first
+// call closes the queue.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if !already {
+		// Submit rejects with ErrDraining before reaching the channel,
+		// and it checks under mu, so no send can race this close.
+		close(m.queue)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		m.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+
+	m.mu.Lock()
+	m.hardStop = true
+	for _, cancel := range m.cancels {
+		cancel()
+	}
+	m.mu.Unlock()
+	<-done
+	return ctx.Err()
+}

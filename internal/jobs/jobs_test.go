@@ -1,0 +1,377 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cpr/internal/cache"
+	"cpr/internal/core"
+	"cpr/internal/design"
+	"cpr/internal/lagrange"
+	"cpr/internal/synth"
+)
+
+func testDesign(t *testing.T) *design.Design {
+	t.Helper()
+	d, err := synth.Generate(synth.Spec{Name: "jobs-test", Nets: 10, Width: 60, Height: 20, Seed: 1})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return d
+}
+
+// optsN returns options whose fingerprint differs per n, to mint
+// distinct cache keys over one shared design.
+func optsN(n int) core.Options {
+	return core.Options{LR: lagrange.Config{MaxIterations: n}}
+}
+
+func waitTerminal(t *testing.T, j *Job) Snapshot {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatalf("job %s did not finish: %v", j.ID, err)
+	}
+	return j.Snapshot()
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	var runs atomic.Int64
+	m := New(Config{
+		MaxConcurrent: 2,
+		Run: func(ctx context.Context, d *design.Design, o core.Options) (*core.RunResult, error) {
+			runs.Add(1)
+			return &core.RunResult{}, nil
+		},
+	}, cache.New[*core.RunResult](16))
+	d := testDesign(t)
+
+	job, err := m.Submit(d, core.Options{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	snap := waitTerminal(t, job)
+	if snap.State != StateDone || snap.Cached || snap.Result == nil {
+		t.Fatalf("snapshot = %+v, want done uncached with result", snap)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("runs = %d, want 1", runs.Load())
+	}
+	st := m.Stats()
+	if st.ByState["done"] != 1 {
+		t.Fatalf("stats = %+v, want 1 done", st.ByState)
+	}
+	if st.Stages["run"].Count != 1 || st.Stages["queue_wait"].Count != 1 {
+		t.Fatalf("stage aggregates missing: %+v", st.Stages)
+	}
+}
+
+func TestCacheHitOnIdenticalResubmission(t *testing.T) {
+	var runs atomic.Int64
+	m := New(Config{
+		Run: func(ctx context.Context, d *design.Design, o core.Options) (*core.RunResult, error) {
+			runs.Add(1)
+			return &core.RunResult{}, nil
+		},
+	}, cache.New[*core.RunResult](16))
+	d := testDesign(t)
+
+	first, err := m.Submit(d, core.Options{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	fs := waitTerminal(t, first)
+
+	second, err := m.Submit(d, core.Options{})
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	ss := second.Snapshot()
+	if ss.State != StateDone || !ss.Cached {
+		t.Fatalf("resubmission = %+v, want immediately done from cache", ss)
+	}
+	if ss.ID == fs.ID {
+		t.Fatal("cached job reused the original job ID")
+	}
+	if ss.Key != fs.Key {
+		t.Fatalf("cache keys differ for identical requests: %s vs %s", ss.Key, fs.Key)
+	}
+	if ss.Result != fs.Result {
+		t.Fatal("cached job did not serve the stored result")
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("runs = %d, want 1 (second submission must not re-run)", runs.Load())
+	}
+	if st := m.Stats(); st.Cache.Hits != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit", st.Cache)
+	}
+}
+
+func TestDifferentOptionsMissCache(t *testing.T) {
+	var runs atomic.Int64
+	m := New(Config{
+		Run: func(ctx context.Context, d *design.Design, o core.Options) (*core.RunResult, error) {
+			runs.Add(1)
+			return &core.RunResult{}, nil
+		},
+	}, cache.New[*core.RunResult](16))
+	d := testDesign(t)
+	a, _ := m.Submit(d, optsN(1))
+	waitTerminal(t, a)
+	b, _ := m.Submit(d, optsN(2))
+	waitTerminal(t, b)
+	if runs.Load() != 2 {
+		t.Fatalf("runs = %d, want 2 (different options must not share results)", runs.Load())
+	}
+}
+
+func TestCoalesceIdenticalInflight(t *testing.T) {
+	release := make(chan struct{})
+	var runs atomic.Int64
+	m := New(Config{
+		MaxConcurrent: 2,
+		Run: func(ctx context.Context, d *design.Design, o core.Options) (*core.RunResult, error) {
+			runs.Add(1)
+			<-release
+			return &core.RunResult{}, nil
+		},
+	}, cache.New[*core.RunResult](16))
+	d := testDesign(t)
+
+	a, err := m.Submit(d, core.Options{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	b, err := m.Submit(d, core.Options{})
+	if err != nil {
+		t.Fatalf("coalescing Submit: %v", err)
+	}
+	if a != b {
+		t.Fatal("identical in-flight submissions should coalesce onto one job")
+	}
+	close(release)
+	if snap := waitTerminal(t, a); snap.State != StateDone {
+		t.Fatalf("state = %v, want done", snap.State)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("runs = %d, want 1", runs.Load())
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	m := New(Config{
+		MaxConcurrent: 1,
+		QueueCap:      1,
+		Run: func(ctx context.Context, d *design.Design, o core.Options) (*core.RunResult, error) {
+			<-release
+			return &core.RunResult{}, nil
+		},
+	}, cache.New[*core.RunResult](16))
+	d := testDesign(t)
+
+	first, err := m.Submit(d, optsN(1))
+	if err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	// The worker may not have dequeued the first job yet; poll until it
+	// does so the single queue slot is predictably free.
+	deadline := time.Now().Add(5 * time.Second)
+	for first.Snapshot().State == StateQueued {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := m.Submit(d, optsN(2)); err != nil {
+		t.Fatalf("second Submit (fills queue): %v", err)
+	}
+	if _, err := m.Submit(d, optsN(3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third Submit: err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+}
+
+func TestJobTimeoutFailsWithoutWedging(t *testing.T) {
+	m := New(Config{
+		MaxConcurrent: 1,
+		JobTimeout:    20 * time.Millisecond,
+		Run: func(ctx context.Context, d *design.Design, o core.Options) (*core.RunResult, error) {
+			if o.LR.MaxIterations == 999 {
+				<-ctx.Done() // simulate a job that only stops when canceled
+				return nil, ctx.Err()
+			}
+			return &core.RunResult{}, nil
+		},
+	}, cache.New[*core.RunResult](16))
+	d := testDesign(t)
+
+	slow, err := m.Submit(d, optsN(999))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	snap := waitTerminal(t, slow)
+	if snap.State != StateFailed || snap.Err == "" {
+		t.Fatalf("timed-out job = %+v, want terminal failed with error", snap)
+	}
+
+	fast, err := m.Submit(d, optsN(1))
+	if err != nil {
+		t.Fatalf("Submit after timeout: %v", err)
+	}
+	if snap := waitTerminal(t, fast); snap.State != StateDone {
+		t.Fatalf("queue wedged after a timeout: follow-up job = %+v", snap)
+	}
+	if st := m.Stats(); st.ByState["failed"] != 1 || st.ByState["done"] != 1 {
+		t.Fatalf("stats = %+v, want 1 failed + 1 done", st.ByState)
+	}
+}
+
+func TestDrainCompletesInflightJobs(t *testing.T) {
+	m := New(Config{
+		MaxConcurrent: 2,
+		Run: func(ctx context.Context, d *design.Design, o core.Options) (*core.RunResult, error) {
+			time.Sleep(20 * time.Millisecond)
+			return &core.RunResult{}, nil
+		},
+	}, cache.New[*core.RunResult](16))
+	d := testDesign(t)
+
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j, err := m.Submit(d, optsN(i+1))
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for _, j := range jobs {
+		if snap := j.Snapshot(); snap.State != StateDone {
+			t.Fatalf("job %s after drain = %v, want done", j.ID, snap.State)
+		}
+	}
+	if _, err := m.Submit(d, optsN(99)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after drain: err = %v, want ErrDraining", err)
+	}
+}
+
+func TestDrainDeadlineCancelsRunningJobs(t *testing.T) {
+	m := New(Config{
+		MaxConcurrent: 1,
+		Run: func(ctx context.Context, d *design.Design, o core.Options) (*core.RunResult, error) {
+			<-ctx.Done() // cooperates with cancellation but never finishes on its own
+			return nil, ctx.Err()
+		},
+	}, cache.New[*core.RunResult](16))
+	d := testDesign(t)
+
+	running, err := m.Submit(d, optsN(1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	queued, err := m.Submit(d, optsN(2))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := m.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain: err = %v, want DeadlineExceeded", err)
+	}
+	for _, j := range []*Job{running, queued} {
+		if snap := j.Snapshot(); snap.State != StateFailed {
+			t.Fatalf("job %s after hard drain = %v, want failed", j.ID, snap.State)
+		}
+	}
+}
+
+// TestStressNoJobLostNoDoubleRun floods the manager from many goroutines
+// with overlapping submissions and asserts the two manager invariants:
+// every accepted submission reaches a terminal state, and no content
+// address is ever optimized twice (coalescing catches in-flight
+// duplicates, the cache catches completed ones).
+func TestStressNoJobLostNoDoubleRun(t *testing.T) {
+	const (
+		submitters = 8
+		keys       = 40
+	)
+	runCounts := make([]atomic.Int64, keys+1)
+	m := New(Config{
+		MaxConcurrent: 4,
+		QueueCap:      submitters * keys, // never 429 in this test
+		Run: func(ctx context.Context, d *design.Design, o core.Options) (*core.RunResult, error) {
+			runCounts[o.LR.MaxIterations].Add(1)
+			time.Sleep(100 * time.Microsecond)
+			return &core.RunResult{}, nil
+		},
+	}, cache.New[*core.RunResult](keys*2))
+	d := testDesign(t)
+
+	var (
+		mu   sync.Mutex
+		jobs []*Job
+		wg   sync.WaitGroup
+	)
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 1; k <= keys; k++ {
+				j, err := m.Submit(d, optsN(k))
+				if err != nil {
+					t.Errorf("Submit key %d: %v", k, err)
+					return
+				}
+				mu.Lock()
+				jobs = append(jobs, j)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, j := range jobs {
+		snap := waitTerminal(t, j)
+		if snap.State != StateDone {
+			t.Fatalf("job %s = %v (%s), want done", j.ID, snap.State, snap.Err)
+		}
+	}
+	for k := 1; k <= keys; k++ {
+		if got := runCounts[k].Load(); got != 1 {
+			t.Errorf("key %d ran %d times, want exactly 1", k, got)
+		}
+	}
+	if len(jobs) != submitters*keys {
+		t.Errorf("lost submissions: got %d jobs, want %d", len(jobs), submitters*keys)
+	}
+}
+
+func TestFingerprintNormalization(t *testing.T) {
+	if Fingerprint(core.Options{Workers: 1}) != Fingerprint(core.Options{Workers: 8}) {
+		t.Error("worker count must not change the fingerprint (results are identical)")
+	}
+	if Fingerprint(core.Options{Parallelism: 3}) != Fingerprint(core.Options{}) {
+		t.Error("deprecated Parallelism must not change the fingerprint")
+	}
+	if Fingerprint(core.Options{Mode: core.ModeCPR}) == Fingerprint(core.Options{Mode: core.ModeSequential}) {
+		t.Error("mode must change the fingerprint")
+	}
+	if Fingerprint(optsN(1)) == Fingerprint(optsN(2)) {
+		t.Error("LR iteration bound must change the fingerprint")
+	}
+	if fmt.Sprint(Fingerprint(core.Options{})) == "" {
+		t.Error("empty fingerprint")
+	}
+}

@@ -55,6 +55,13 @@ type Config struct {
 	// happens in the sequential order. <= 1 runs fully sequentially; the
 	// result is byte-identical for every value.
 	Workers int
+	// Stop is polled between subgradient iterations; when it reports
+	// true the loop exits early with the best selection seen so far
+	// (refinement still runs so the returned solution stays legal).
+	// A nil Stop — or one that never fires — leaves the iteration
+	// trajectory untouched, so results remain byte-identical to a run
+	// without it.
+	Stop func() bool
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +122,9 @@ func Solve(m *assign.Model, cfg Config) Result {
 	minVio := math.MaxInt
 	iters := 0
 	for k := 1; k <= cfg.MaxIterations && minVio > 0; k++ {
+		if cfg.Stop != nil && cfg.Stop() {
+			break
+		}
 		iters = k
 		parallel.ForEachChunk(gainWorkers, n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {

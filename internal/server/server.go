@@ -1,0 +1,275 @@
+// Package server implements the cprd HTTP/JSON API on top of the jobs
+// manager and the content-addressed result cache:
+//
+//	POST /v1/jobs       submit a design (inline or synthesized from a spec)
+//	GET  /v1/jobs/{id}  job status / result / error
+//	GET  /v1/healthz    liveness and drain state
+//	GET  /v1/stats      queue depth, cache hit rate, per-stage latencies
+//	GET  /debug/vars    the same counters via expvar
+//
+// Identical submissions are served from cache (no optimizer run) and
+// identical in-flight submissions coalesce onto one job. A full queue
+// answers 429; a draining server answers 503.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cpr/internal/core"
+	"cpr/internal/design"
+	"cpr/internal/designio"
+	"cpr/internal/httpapi"
+	"cpr/internal/jobs"
+	"cpr/internal/synth"
+)
+
+// maxRequestBytes bounds a submission body (designs are text; the
+// largest Table 2 circuit encodes to well under 4 MiB).
+const maxRequestBytes = 32 << 20
+
+// Server routes HTTP requests to a jobs.Manager.
+type Server struct {
+	mgr *jobs.Manager
+}
+
+// New wires a server to its manager and registers the manager's stats
+// with the process-wide expvar registry (last server wins, so tests can
+// create many).
+func New(mgr *jobs.Manager) *Server {
+	s := &Server{mgr: mgr}
+	currentManager.Store(mgr)
+	publishExpvars()
+	return s
+}
+
+// The expvar registry is process-global and Publish panics on duplicate
+// names, so the published Func reads whichever manager was wired most
+// recently.
+var (
+	currentManager atomic.Pointer[jobs.Manager]
+	expvarOnce     sync.Once
+)
+
+func publishExpvars() {
+	expvarOnce.Do(func() {
+		expvar.Publish("cprd", expvar.Func(func() any {
+			if m := currentManager.Load(); m != nil {
+				return m.Stats()
+			}
+			return nil
+		}))
+	})
+}
+
+// Handler builds the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > maxRequestBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, errors.New("request body too large"))
+		return
+	}
+	var req httpapi.SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	d, err := buildDesign(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := buildOptions(req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	job, err := s.mgr.Submit(d, opts)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, jobs.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if req.Wait {
+		if err := job.Wait(r.Context()); err != nil {
+			// The client went away or timed out; the job keeps running.
+			writeJSON(w, http.StatusAccepted, jobToWire(job.Snapshot()))
+			return
+		}
+	}
+	snap := job.Snapshot()
+	status := http.StatusAccepted
+	if snap.State.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, jobToWire(snap))
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobToWire(job.Snapshot()))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.mgr.Stats()
+	writeJSON(w, http.StatusOK, httpapi.Health{Status: "ok", Draining: st.Draining})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.mgr.Stats()
+	writeJSON(w, http.StatusOK, httpapi.Stats{
+		QueueDepth:   st.QueueDepth,
+		QueueCap:     st.QueueCap,
+		Running:      st.Running,
+		Draining:     st.Draining,
+		ByState:      st.ByState,
+		Cache:        st.Cache,
+		CacheHitRate: st.CacheHitRate,
+		Stages:       st.Stages,
+	})
+}
+
+// buildDesign materializes the request's design: inline text or a
+// synthesized spec, exactly one of which must be present.
+func buildDesign(req *httpapi.SubmitRequest) (*design.Design, error) {
+	switch {
+	case req.Design != "" && req.Spec != nil:
+		return nil, errors.New("request sets both design and spec; choose one")
+	case req.Design != "":
+		d, err := designio.Read(strings.NewReader(req.Design))
+		if err != nil {
+			return nil, fmt.Errorf("parsing design: %w", err)
+		}
+		return d, nil
+	case req.Spec != nil:
+		ws := req.Spec
+		if ws.Circuit != "" {
+			spec, err := synth.SpecByName(ws.Circuit)
+			if err != nil {
+				return nil, err
+			}
+			return synth.Generate(spec)
+		}
+		return synth.Generate(synth.Spec{
+			Name:             ws.Name,
+			Nets:             ws.Nets,
+			Width:            ws.Width,
+			Height:           ws.Height,
+			Seed:             ws.Seed,
+			BlockageFraction: ws.BlockageFraction,
+		})
+	default:
+		return nil, errors.New("request needs a design or a spec")
+	}
+}
+
+// buildOptions maps wire options onto core.Options.
+func buildOptions(wo *httpapi.Options) (core.Options, error) {
+	var opts core.Options
+	if wo == nil {
+		return opts, nil
+	}
+	switch wo.Mode {
+	case "", "cpr":
+		opts.Mode = core.ModeCPR
+	case "nopinopt":
+		opts.Mode = core.ModeNoPinOpt
+	case "sequential":
+		opts.Mode = core.ModeSequential
+	default:
+		return opts, fmt.Errorf("unknown mode %q (want cpr, nopinopt, sequential)", wo.Mode)
+	}
+	switch wo.Optimizer {
+	case "", "lr":
+		opts.Optimizer = core.OptLR
+	case "ilp":
+		opts.Optimizer = core.OptILP
+	default:
+		return opts, fmt.Errorf("unknown optimizer %q (want lr, ilp)", wo.Optimizer)
+	}
+	opts.Workers = wo.Workers
+	opts.LR.MaxIterations = wo.LRMaxIterations
+	opts.LR.Alpha = wo.LRAlpha
+	opts.ILP.TimeLimit = time.Duration(wo.ILPTimeLimitMS) * time.Millisecond
+	opts.ILP.MaxNodes = wo.ILPMaxNodes
+	opts.Router.MaxNegotiationIters = wo.MaxNegotiationIters
+	return opts, nil
+}
+
+// jobToWire converts a snapshot into its wire form.
+func jobToWire(s jobs.Snapshot) httpapi.Job {
+	wj := httpapi.Job{
+		ID:          s.ID,
+		Key:         s.Key,
+		State:       s.State.String(),
+		Cached:      s.Cached,
+		Error:       s.Err,
+		QueueWaitMS: float64(s.QueueWait) / float64(time.Millisecond),
+		RunMS:       float64(s.RunTime) / float64(time.Millisecond),
+	}
+	if s.Result != nil {
+		res := &httpapi.Result{
+			Mode:    s.Result.Mode.String(),
+			Metrics: s.Result.Metrics,
+		}
+		if po := s.Result.PinOpt; po != nil {
+			res.PinOpt = &httpapi.PinOptSummary{
+				Panels:    len(po.Panels),
+				Pins:      po.TotalPins,
+				Intervals: po.TotalIntervals,
+				Conflicts: po.TotalConflicts,
+				Objective: po.Objective,
+				ElapsedMS: float64(po.Elapsed) / float64(time.Millisecond),
+			}
+		}
+		wj.Result = res
+	}
+	return wj
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, httpapi.Error{Error: err.Error()})
+}

@@ -1,0 +1,225 @@
+// Command cprlint is the repo's determinism & robustness linter: a
+// multichecker driving the internal/analysis suite (maporder,
+// nondeterm, floatreduce, ctxpass, mutexcopy, errdrop) over package
+// patterns, with //cprlint:<analyzer> <reason> suppression comments
+// enforced to carry reasons.
+//
+// Usage:
+//
+//	cprlint [flags] [packages]
+//
+//	-json             emit findings as a JSON array (empty array when clean)
+//	-list             print the analyzers and exit
+//	-enable  a,b,...  run only the named analyzers
+//	-disable a,b,...  skip the named analyzers
+//
+// Exit status: 0 when clean, 1 on findings, 2 on usage or load errors.
+// The CI lint job runs `cprlint ./...` and additionally asserts that
+// `cprlint -json ./...` prints an empty array, so any new finding —
+// including an unjustified suppression — fails the build.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cpr/internal/analysis"
+	"cpr/internal/analysis/all"
+	"cpr/internal/analysis/loader"
+)
+
+// finding is one reported diagnostic, JSON-ready.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated analyzers to skip")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cprlint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cprlint:", err)
+		os.Exit(2)
+	}
+	findings, err := Lint(wd, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cprlint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "cprlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "cprlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers applies -enable/-disable to the registry.
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range all.Analyzers() {
+		byName[a.Name] = a
+	}
+	parseList := func(s string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		if s == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(s, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	on, err := parseList(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parseList(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all.Analyzers() {
+		if len(on) > 0 && !on[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+// Lint loads the patterns from moduleDir and runs the analyzers,
+// returning findings sorted by position. Suppression comments are
+// applied (and validated: a //cprlint: comment with a bad name or no
+// reason is itself a finding).
+func Lint(moduleDir string, patterns []string, analyzers []*analysis.Analyzer) ([]finding, error) {
+	l := loader.New(moduleDir)
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	known := all.Known()
+	var findings []finding
+	add := func(name string, diags []analysis.Diagnostic) {
+		for _, d := range diags {
+			pos := l.Fset.Position(d.Pos)
+			file := pos.Filename
+			if rel, err := relPath(moduleDir, file); err == nil {
+				file = rel
+			}
+			findings = append(findings, finding{
+				Analyzer: name,
+				File:     file,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+			})
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      l.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			add(a.Name, analysis.Filter(l.Fset, pkg.Files, a, diags))
+		}
+		add("cprlint", analysis.CheckSuppressions(l.Fset, pkg.Files, known))
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func relPath(base, target string) (string, error) {
+	rel, err := relIfUnder(base, target)
+	if err != nil {
+		return "", err
+	}
+	return rel, nil
+}
+
+// relIfUnder returns target relative to base when target lies under it.
+func relIfUnder(base, target string) (string, error) {
+	if !strings.HasPrefix(target, base+string(os.PathSeparator)) {
+		return "", fmt.Errorf("outside module")
+	}
+	return strings.TrimPrefix(target, base+string(os.PathSeparator)), nil
+}

@@ -1,0 +1,39 @@
+// Package all registers every cprlint analyzer. cmd/cprlint and the
+// lint CI job consume this list; adding an analyzer here wires it into
+// the whole toolchain.
+package all
+
+import (
+	"cpr/internal/analysis"
+	"cpr/internal/analysis/ctxpass"
+	"cpr/internal/analysis/errdrop"
+	"cpr/internal/analysis/floatreduce"
+	"cpr/internal/analysis/maporder"
+	"cpr/internal/analysis/mutexcopy"
+	"cpr/internal/analysis/nondeterm"
+)
+
+// Analyzers returns the full suite in stable (alphabetical) order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxpass.Analyzer,
+		errdrop.Analyzer,
+		floatreduce.Analyzer,
+		maporder.Analyzer,
+		mutexcopy.Analyzer,
+		nondeterm.Analyzer,
+	}
+}
+
+// Known maps every analyzer name and suppression alias to true, for
+// validating //cprlint: comments.
+func Known() map[string]bool {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+		for _, alias := range a.SuppressAliases {
+			known[alias] = true
+		}
+	}
+	return known
+}

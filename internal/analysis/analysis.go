@@ -1,0 +1,102 @@
+// Package analysis is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough driver surface to write
+// project-specific static checks as composable Analyzer values and run
+// them from cmd/cprlint and from analysistest golden tests.
+//
+// The x/tools module is deliberately not imported — the repo builds with
+// the standard library only — but the shapes (Analyzer, Pass, Diagnostic)
+// mirror x/tools so the analyzers could be ported to a stock multichecker
+// with mechanical edits.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags, and
+	// //cprlint: suppression comments. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by cprlint -list.
+	Doc string
+	// SuppressAliases are extra names accepted in suppression comments
+	// (e.g. maporder accepts the documented //cprlint:ordered form).
+	SuppressAliases []string
+	// Run executes the check on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// Analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+
+	// Report delivers one finding. Drivers install it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// FuncOf resolves a call expression's callee to a *types.Func, looking
+// through parentheses. It returns nil for calls through function values,
+// type conversions, and builtins — the cases where no static callee
+// exists.
+func FuncOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// ObjectOf resolves an expression to the variable it names, looking
+// through parentheses: identifiers and selector expressions resolve to
+// their *types.Var; everything else (index expressions, dereferences,
+// calls) yields nil.
+func ObjectOf(info *types.Info, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[x].(*types.Var)
+		if v == nil {
+			v, _ = info.Defs[x].(*types.Var)
+		}
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[x.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// IsFloat reports whether t's underlying type is a floating point type.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,214 @@
+// Package analysistest runs an analyzer over golden packages under a
+// testdata/src tree and compares its diagnostics against // want
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A golden file marks each expected finding on its own line:
+//
+//	for k := range m { // want `iterates over map`
+//
+// The string after want is a regular expression (quoted with " or `)
+// that must match the diagnostic message reported on that line; several
+// want patterns on one line expect several diagnostics. Suppression
+// filtering (//cprlint: comments) runs before matching, exactly as in
+// cmd/cprlint, so golden packages can also pin the suppression
+// behaviour: a suppressed site simply carries no want comment.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cpr/internal/analysis"
+	"cpr/internal/analysis/loader"
+)
+
+var wantRe = regexp.MustCompile("// want (.*)$")
+
+// expectation is one want comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each named package from testdata/src, applies the analyzer,
+// filters suppressed diagnostics, and checks the result against the
+// packages' want comments. testdata is the path to the testdata
+// directory, usually "testdata" relative to the test.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	moduleDir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := loader.New(moduleDir)
+	l.TestdataSrc = src
+
+	for _, pkgPath := range pkgPaths {
+		dir := filepath.Join(src, filepath.FromSlash(pkgPath))
+		pkg, err := l.LoadDir(dir, pkgPath)
+		if err != nil {
+			t.Errorf("%s: %v", pkgPath, err)
+			continue
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Errorf("%s: type errors: %v", pkgPath, pkg.TypeErrors)
+			continue
+		}
+
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      l.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Errorf("%s: analyzer %s: %v", pkgPath, a.Name, err)
+			continue
+		}
+		diags = analysis.Filter(l.Fset, pkg.Files, a, diags)
+
+		expects, err := collectExpectations(dir)
+		if err != nil {
+			t.Errorf("%s: %v", pkgPath, err)
+			continue
+		}
+		check(t, l.Fset, pkgPath, diags, expects)
+	}
+}
+
+// collectExpectations scans every Go file in dir for want comments.
+func collectExpectations(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			patterns, err := parsePatterns(m[1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, i+1, err)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern: %v", path, i+1, err)
+				}
+				out = append(out, &expectation{file: path, line: i + 1, pattern: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+// parsePatterns splits a want payload into its quoted regexps. Both
+// double quotes (with escapes) and backquotes are accepted.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return nil, fmt.Errorf("unterminated want pattern %q", s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment without patterns")
+	}
+	return out, nil
+}
+
+// check matches diagnostics against expectations one-to-one.
+func check(t *testing.T, fset *token.FileSet, pkgPath string, diags []analysis.Diagnostic, expects []*expectation) {
+	t.Helper()
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, e := range expects {
+			if e.matched || e.line != pos.Line || !sameFile(e.file, pos.Filename) {
+				continue
+			}
+			if e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s",
+				pkgPath, filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q",
+				pkgPath, filepath.Base(e.file), e.line, e.pattern)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	if a == b {
+		return true
+	}
+	ra, err1 := filepath.Abs(a)
+	rb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && ra == rb
+}

@@ -1,0 +1,141 @@
+// Package ctxpass enforces cancellation plumbing in the service-layer
+// packages (internal/core, internal/jobs, internal/server): an exported
+// function that spawns goroutines or loops unboundedly must accept a
+// context.Context and actually consult it. The cprd daemon's graceful
+// drain and per-job timeouts (PR 2) only work if every long-running
+// entry point in those packages is cancelable.
+//
+// Lifecycles genuinely managed by other means (a closed channel, a
+// WaitGroup drain) carry a //cprlint:ctxpass comment with the reason.
+package ctxpass
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cpr/internal/analysis"
+)
+
+// Analyzer is the ctxpass pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpass",
+	Doc:  "exported functions in internal/{core,jobs,server} that spawn goroutines or loop unboundedly must accept and consult a context.Context",
+	Run:  run,
+}
+
+// scoped are the service-layer packages under the rule.
+var scoped = []string{"/internal/core", "/internal/jobs", "/internal/server"}
+
+func run(pass *analysis.Pass) error {
+	in := false
+	path := "/" + pass.Pkg.Path()
+	for _, s := range scoped {
+		if strings.Contains(path, s) {
+			in = true
+			break
+		}
+	}
+	if !in {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			kind := longRunning(pass.TypesInfo, fd.Body)
+			if kind == "" {
+				continue
+			}
+			ctxParam, present := contextParam(pass.TypesInfo, fd)
+			if !present {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s %s but has no context.Context parameter; long-running work must be cancelable (annotate //cprlint:ctxpass <reason> if the lifecycle is managed elsewhere)",
+					fd.Name.Name, kind)
+				continue
+			}
+			if ctxParam == nil || !usesVar(pass.TypesInfo, fd.Body, ctxParam) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s %s and takes a context.Context but never consults it; poll ctx.Done()/ctx.Err() or pass it on",
+					fd.Name.Name, kind)
+			}
+		}
+	}
+	return nil
+}
+
+// longRunning classifies a body that spawns or may never return:
+// returns a description, or "" for plain bounded code.
+func longRunning(info *types.Info, body *ast.BlockStmt) string {
+	kind := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			kind = "spawns goroutines"
+		case *ast.ForStmt:
+			if s.Cond == nil {
+				kind = "loops unboundedly (for without condition)"
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[s.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					kind = "loops unboundedly (range over channel)"
+				}
+			}
+		}
+		return true
+	})
+	return kind
+}
+
+// contextParam finds a parameter of type context.Context: present
+// reports whether one exists at all; the returned var is nil for an
+// unnamed (or blank) parameter, which by construction is never
+// consulted.
+func contextParam(info *types.Info, fd *ast.FuncDecl) (*types.Var, bool) {
+	if fd.Type.Params == nil {
+		return nil, false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContext(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				return v, true
+			}
+		}
+		return nil, true
+	}
+	return nil, false
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// usesVar reports whether body references v.
+func usesVar(info *types.Info, body *ast.BlockStmt, v *types.Var) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

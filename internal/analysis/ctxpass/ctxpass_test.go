@@ -1,0 +1,15 @@
+package ctxpass_test
+
+import (
+	"testing"
+
+	"cpr/internal/analysis/analysistest"
+	"cpr/internal/analysis/ctxpass"
+)
+
+func TestCtxpass(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxpass.Analyzer,
+		"cpr/internal/server",
+		"other",
+	)
+}

@@ -1,0 +1,96 @@
+// Package server is golden input for the ctxpass analyzer: a scoped
+// service-layer package.
+package server
+
+import "context"
+
+// SpawnNoCtx starts a goroutine with no way to cancel it: flagged.
+func SpawnNoCtx(work func()) { // want `exported SpawnNoCtx spawns goroutines but has no context\.Context parameter`
+	go work()
+}
+
+// SpinNoCtx loops forever with no way out: flagged.
+func SpinNoCtx(step func() bool) { // want `exported SpinNoCtx loops unboundedly \(for without condition\) but has no context\.Context parameter`
+	for {
+		if step() {
+			return
+		}
+	}
+}
+
+// DrainNoCtx consumes a channel unboundedly: flagged.
+func DrainNoCtx(jobs chan int) int { // want `exported DrainNoCtx loops unboundedly \(range over channel\) but has no context\.Context parameter`
+	total := 0
+	for j := range jobs {
+		total += j
+	}
+	return total
+}
+
+// IgnoresCtx accepts a context and then never looks at it: flagged.
+func IgnoresCtx(ctx context.Context, work func()) { // want `exported IgnoresCtx spawns goroutines and takes a context\.Context but never consults it`
+	go work()
+}
+
+// BlankCtx cannot consult an unnamed context: flagged.
+func BlankCtx(_ context.Context, work func()) { // want `exported BlankCtx spawns goroutines and takes a context\.Context but never consults it`
+	go work()
+}
+
+// Serve is the compliant shape: spawns, accepts ctx, and polls it.
+func Serve(ctx context.Context, work func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	select {
+	case <-ctx.Done():
+	case <-done:
+	}
+}
+
+// PassesOn forwards ctx to a callee: consulting by delegation is fine.
+func PassesOn(ctx context.Context, run func(context.Context) error) error {
+	for {
+		if err := run(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// Bounded does plain bounded work: no context needed.
+func Bounded(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// conditioned loops have an exit and are not flagged.
+func Conditioned(n int) int {
+	i := 0
+	for i < n {
+		i++
+	}
+	return i
+}
+
+// spawnInternal is unexported: out of scope.
+func spawnInternal(work func()) {
+	go work()
+}
+
+// Annotated documents a channel-close lifecycle: suppressed.
+//
+//cprlint:ctxpass workers exit when the queue channel closes on Drain; lifecycle is channel-managed
+func Annotated(queue chan func()) {
+	go func() {
+		for job := range queue {
+			job()
+		}
+	}()
+}
+
+var _ = spawnInternal

@@ -1,0 +1,8 @@
+// Package other is golden input: packages outside internal/{core,jobs,
+// server} are not subject to ctxpass.
+package other
+
+// Spawn is fine here.
+func Spawn(work func()) {
+	go work()
+}

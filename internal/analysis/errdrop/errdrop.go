@@ -1,0 +1,130 @@
+// Package errdrop flags discarded errors from the repo's persistence
+// and job-control APIs (internal/designio, internal/cache,
+// internal/jobs). A swallowed designio.Write error means a silently
+// truncated design file; a dropped jobs.Submit or Drain error means
+// lost work the daemon believes it accepted. Errors from these packages
+// must be checked or explicitly justified.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cpr/internal/analysis"
+)
+
+// Analyzer is the errdrop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded errors from internal/designio, internal/cache, and internal/jobs APIs (statement calls, _ assignments, go/defer)",
+	Run:  run,
+}
+
+// guarded are the packages whose errors must not be dropped.
+var guarded = []string{"/internal/designio", "/internal/cache", "/internal/jobs"}
+
+func run(pass *analysis.Pass) error {
+	if isGuarded(pass.Pkg.Path()) {
+		// The packages themselves manage their own errors.
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					report(pass, call, "result discarded")
+				}
+			case *ast.DeferStmt:
+				report(pass, s.Call, "error lost in defer; wrap in a closure that checks it")
+			case *ast.GoStmt:
+				report(pass, s.Call, "error lost in go statement; check it inside the goroutine")
+			case *ast.AssignStmt:
+				checkBlank(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// report flags call if it is a guarded-API call returning an error.
+func report(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	fn := guardedErrFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s.%s dropped (%s); designio/cache/jobs errors must be handled (annotate //cprlint:errdrop <reason> if provably impossible)",
+		fn.Pkg().Name(), fn.Name(), how)
+}
+
+// checkBlank flags x, _ := pkg.F() where the blank slot is the error.
+func checkBlank(pass *analysis.Pass, s *ast.AssignStmt) {
+	// Multi-value call: one RHS, several LHS.
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := guardedErrFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(s.Lhs) {
+		// Single-value context or mismatch; the ExprStmt path covers
+		// full discards.
+		if len(s.Lhs) == 1 && isBlank(s.Lhs[0]) {
+			report(pass, call, "assigned to _")
+		}
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) && isBlank(s.Lhs[i]) {
+			report(pass, call, "error assigned to _")
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// guardedErrFunc resolves call to a guarded-package function whose
+// results include an error; nil otherwise.
+func guardedErrFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn := analysis.FuncOf(info, call)
+	if fn == nil || fn.Pkg() == nil || !isGuarded(fn.Pkg().Path()) {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return fn
+		}
+	}
+	return nil
+}
+
+func isGuarded(path string) bool {
+	p := "/" + path
+	for _, g := range guarded {
+		if strings.Contains(p, g) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}

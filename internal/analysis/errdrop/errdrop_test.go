@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"cpr/internal/analysis/analysistest"
+	"cpr/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "errdrop")
+}

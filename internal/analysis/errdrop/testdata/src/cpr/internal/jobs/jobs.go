@@ -1,0 +1,22 @@
+// Package jobs is a stub of the repo's job manager for the errdrop
+// golden tests; the analyzer matches it by import path suffix.
+package jobs
+
+import "context"
+
+// Job is one submitted request.
+type Job struct{ ID string }
+
+// Manager owns the queue.
+type Manager struct{}
+
+// Submit enqueues a request.
+func (m *Manager) Submit(name string) (*Job, error) {
+	return &Job{ID: name}, nil
+}
+
+// Drain stops the manager.
+func (m *Manager) Drain(ctx context.Context) error { return nil }
+
+// Depth has no error result: never flagged.
+func (m *Manager) Depth() int { return 0 }

@@ -1,0 +1,81 @@
+// Package errdrop is golden input for the errdrop analyzer.
+package errdrop
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"cpr/internal/designio"
+	"cpr/internal/jobs"
+)
+
+// StatementDrop discards designio.Write's error entirely: flagged.
+func StatementDrop(w io.Writer, d *designio.Design) {
+	designio.Write(w, d) // want `error from designio\.Write dropped \(result discarded\)`
+}
+
+// BlankDrop assigns the error to _: flagged.
+func BlankDrop(w io.Writer, d *designio.Design) {
+	_ = designio.Write(w, d) // want `error from designio\.Write dropped \(error assigned to _\)`
+}
+
+// BlankTupleDrop keeps the value but blanks the error: flagged.
+func BlankTupleDrop(r io.Reader) *designio.Design {
+	d, _ := designio.Read(r) // want `error from designio\.Read dropped \(error assigned to _\)`
+	return d
+}
+
+// DeferDrop loses the error at function exit: flagged.
+func DeferDrop(ctx context.Context, m *jobs.Manager) {
+	defer m.Drain(ctx) // want `error from jobs\.Drain dropped \(error lost in defer`
+}
+
+// GoDrop loses the error on another goroutine: flagged.
+func GoDrop(ctx context.Context, m *jobs.Manager) {
+	go m.Drain(ctx) // want `error from jobs\.Drain dropped \(error lost in go statement`
+}
+
+// MethodDrop discards a method's error result: flagged.
+func MethodDrop(m *jobs.Manager) {
+	m.Submit("x") // want `error from jobs\.Submit dropped \(result discarded\)`
+}
+
+// Handled checks every error: legal.
+func Handled(w io.Writer, r io.Reader, m *jobs.Manager) error {
+	d, err := designio.Read(r)
+	if err != nil {
+		return err
+	}
+	if err := designio.Write(w, d); err != nil {
+		return err
+	}
+	job, err := m.Submit(d.Name)
+	if err != nil {
+		return err
+	}
+	fmt.Println(job.ID)
+	return nil
+}
+
+// BlankValueKeptErrChecked blanks the value, keeps the error: legal.
+func BlankValueKeptErrChecked(r io.Reader) error {
+	_, err := designio.Read(r)
+	return err
+}
+
+// NoErrorResult calls a guarded API without an error result: legal.
+func NoErrorResult(m *jobs.Manager) int {
+	return m.Depth()
+}
+
+// OtherPackage errors are not this analyzer's concern.
+func OtherPackage(w io.Writer) {
+	fmt.Fprintln(w, "hi")
+}
+
+// Suppressed documents a justified drop.
+func Suppressed(w io.Writer, d *designio.Design) {
+	//cprlint:errdrop best-effort debug dump; the writer is a bytes.Buffer that cannot fail
+	designio.Write(w, d)
+}

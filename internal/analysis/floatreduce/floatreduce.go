@@ -1,0 +1,157 @@
+// Package floatreduce flags parallel floating point reductions that
+// bypass the order-preserving merge discipline of internal/parallel.
+//
+// Floating point addition is not associative: accumulating into a
+// shared variable from concurrently-running closures makes the result
+// depend on goroutine completion order, which breaks the pipeline's
+// byte-identical-for-any-Workers contract (and with it the cprd cache).
+// The sanctioned pattern is the internal/parallel one: job i writes
+// only slot i of a result slice, and the caller reduces the slots in
+// index order after the join. Accordingly, indexed writes (out[i] ...)
+// from inside a parallel closure are allowed; accumulation into a
+// captured scalar or field is flagged.
+package floatreduce
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cpr/internal/analysis"
+)
+
+// Analyzer is the floatreduce pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatreduce",
+	Doc:  "flags float accumulation into captured variables from goroutines or internal/parallel closures; reductions must be per-slot with an ordered merge",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "/internal/parallel") || pass.Pkg.Path() == "internal/parallel" {
+		// The pool implements the contract; it is not subject to it.
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+					checkClosure(pass, lit, "goroutine")
+				}
+			case *ast.CallExpr:
+				fn := analysis.FuncOf(pass.TypesInfo, s)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				p := fn.Pkg().Path()
+				if !strings.HasSuffix(p, "/internal/parallel") && p != "internal/parallel" {
+					return true
+				}
+				for _, arg := range s.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						checkClosure(pass, lit, "parallel."+fn.Name()+" closure")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkClosure flags float accumulation into variables captured from
+// outside the closure. Indexed targets (out[i] += x) are the per-slot
+// idiom and stay legal.
+func checkClosure(pass *analysis.Pass, lit *ast.FuncLit, where string) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			target := as.Lhs[0]
+			if isIndexed(target) {
+				return true
+			}
+			v := capturedVar(pass.TypesInfo, target, lit)
+			if v == nil {
+				return true
+			}
+			if t := pass.TypesInfo.Types[target].Type; t != nil && analysis.IsFloat(t) {
+				pass.Reportf(as.Pos(),
+					"float accumulation into captured %q inside a %s: completion order changes the sum; write per-slot results and reduce in index order (internal/parallel contract)",
+					v.Name(), where)
+			}
+		case token.ASSIGN:
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) || isIndexed(as.Lhs[i]) {
+					continue
+				}
+				v := capturedVar(pass.TypesInfo, as.Lhs[i], lit)
+				if v == nil || !analysis.IsFloat(v.Type()) {
+					continue
+				}
+				if mentionsVar(pass.TypesInfo, rhs, v) {
+					pass.Reportf(as.Pos(),
+						"float accumulation into captured %q inside a %s: completion order changes the sum; write per-slot results and reduce in index order (internal/parallel contract)",
+						v.Name(), where)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isIndexed reports whether the lvalue is an element write (the legal
+// per-slot pattern).
+func isIndexed(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.IndexExpr)
+	return ok
+}
+
+// capturedVar resolves an lvalue to a variable declared outside lit
+// (nil when the target is closure-local or unresolvable).
+func capturedVar(info *types.Info, e ast.Expr, lit *ast.FuncLit) *types.Var {
+	var root *types.Var
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		root, _ = info.Uses[x].(*types.Var)
+	case *ast.SelectorExpr:
+		// Field write: capture decided by the base of the chain.
+		base := x.X
+		for {
+			if sel, ok := ast.Unparen(base).(*ast.SelectorExpr); ok {
+				base = sel.X
+				continue
+			}
+			break
+		}
+		if id, ok := ast.Unparen(base).(*ast.Ident); ok {
+			root, _ = info.Uses[id].(*types.Var)
+		}
+	case *ast.StarExpr:
+		return capturedVar(info, x.X, lit)
+	}
+	if root == nil {
+		return nil
+	}
+	if root.Pos() >= lit.Pos() && root.Pos() <= lit.End() {
+		return nil // declared inside the closure
+	}
+	return root
+}
+
+// mentionsVar reports whether expr reads v (the x = x + e pattern).
+func mentionsVar(info *types.Info, expr ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

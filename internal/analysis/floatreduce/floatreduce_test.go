@@ -1,0 +1,15 @@
+package floatreduce_test
+
+import (
+	"testing"
+
+	"cpr/internal/analysis/analysistest"
+	"cpr/internal/analysis/floatreduce"
+)
+
+func TestFloatreduce(t *testing.T) {
+	analysistest.Run(t, "testdata", floatreduce.Analyzer,
+		"floatreduce",
+		"cpr/internal/parallel", // the pool itself is exempt
+	)
+}

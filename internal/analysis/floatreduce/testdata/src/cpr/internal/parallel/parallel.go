@@ -1,0 +1,23 @@
+// Package parallel is a stub of the repo's deterministic worker pool
+// for the floatreduce golden tests. The analyzer identifies it by
+// import path suffix; the implementation is irrelevant. It also proves
+// the pool package itself is exempt: this accumulation into a captured
+// float would be flagged anywhere else.
+package parallel
+
+// ForEach runs fn(i) for i in [0, n).
+func ForEach(workers, n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// sum is pool-internal accumulation; exempt by package identity.
+func sum(xs []float64) float64 {
+	total := 0.0
+	add := func(i int) { total += xs[i] }
+	ForEach(1, len(xs), add)
+	return total
+}
+
+var _ = sum

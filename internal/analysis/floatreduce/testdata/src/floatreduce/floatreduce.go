@@ -1,0 +1,137 @@
+// Package floatreduce is golden input for the floatreduce analyzer.
+package floatreduce
+
+import (
+	"sync"
+
+	"cpr/internal/parallel"
+)
+
+// GoroutineScalar is the canonical bug: goroutines race a captured
+// float accumulator (and even with a lock, completion order would
+// change the bits).
+func GoroutineScalar(xs []float64) float64 {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0.0
+	for _, x := range xs {
+		x := x
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total += x // want `float accumulation into captured "total" inside a goroutine`
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// ParallelClosureScalar accumulates into a captured float from a
+// parallel.ForEach closure: flagged.
+func ParallelClosureScalar(xs []float64) float64 {
+	total := 0.0
+	parallel.ForEach(4, len(xs), func(i int) {
+		total += xs[i] // want `float accumulation into captured "total" inside a parallel\.ForEach closure`
+	})
+	return total
+}
+
+// AssignForm is the x = x + e spelling inside a goroutine: flagged.
+func AssignForm(xs []float64) float64 {
+	var wg sync.WaitGroup
+	total := 0.0
+	for _, x := range xs {
+		x := x
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total = total + x // want `float accumulation into captured "total" inside a goroutine`
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// FieldAccumulate writes a captured struct's float field: flagged.
+type acc struct{ sum float64 }
+
+func FieldAccumulate(xs []float64) float64 {
+	var a acc
+	parallel.ForEach(2, len(xs), func(i int) {
+		a.sum += xs[i] // want `float accumulation into captured "a" inside a parallel\.ForEach closure`
+	})
+	return a.sum
+}
+
+// PerSlot is the sanctioned pattern: job i writes slot i, ordered
+// reduce afterwards. Never flagged.
+func PerSlot(xs []float64) float64 {
+	partial := make([]float64, len(xs))
+	parallel.ForEach(4, len(xs), func(i int) {
+		partial[i] = xs[i] * xs[i]
+	})
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// PerSlotCompound accumulates within a slot: still per-slot, legal.
+func PerSlotCompound(grid [][]float64) []float64 {
+	rows := make([]float64, len(grid))
+	parallel.ForEach(4, len(grid), func(i int) {
+		for _, v := range grid[i] {
+			rows[i] += v
+		}
+	})
+	return rows
+}
+
+// SequentialSum has no concurrency: legal.
+func SequentialSum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// IntCounter is concurrent but integral; atomicity is the race
+// detector's concern, not order-determinism.
+func IntCounter(n int) int {
+	count := 0
+	done := make(chan struct{})
+	go func() {
+		count++
+		close(done)
+	}()
+	<-done
+	return count + n
+}
+
+// ClosureLocal accumulates into a closure-local: legal.
+func ClosureLocal(xs []float64, out []float64) {
+	parallel.ForEach(2, len(xs), func(i int) {
+		local := 0.0
+		local += xs[i]
+		out[i] = local
+	})
+}
+
+// Suppressed documents a justified exception.
+func Suppressed(xs []float64) float64 {
+	total := 0.0
+	done := make(chan struct{})
+	go func() {
+		for _, x := range xs {
+			//cprlint:floatreduce single goroutine owns the accumulator; iteration order is the slice order
+			total += x
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}

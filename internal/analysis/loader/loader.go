@@ -1,0 +1,282 @@
+// Package loader type-checks Go packages for the cprlint analyzers
+// using only the standard library and the go command.
+//
+// Target packages are parsed and type-checked from source (analyzers
+// need syntax trees with comments); their dependencies are imported
+// from compiler export data produced by `go list -deps -export`, the
+// same strategy x/tools' unitchecker uses. That keeps a whole-repo lint
+// run at parse-and-check cost for the targets only, with the go build
+// cache paying for the rest.
+//
+// For analysistest golden packages the loader supports an overlay root
+// (TestdataSrc): an import path that resolves to a directory under the
+// overlay is type-checked from source there, shadowing any real package
+// of the same path, so golden code can import stub versions of repo
+// packages (e.g. a tiny cpr/internal/parallel).
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one source-type-checked package.
+type Package struct {
+	// PkgPath is the package's import path (for overlay packages, the
+	// path relative to the overlay root).
+	PkgPath string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files is the parsed syntax, comments included, in file-name order.
+	Files []*ast.File
+	// Types and TypesInfo are the type-checker's results.
+	Types     *types.Package
+	TypesInfo *types.Info
+	// TypeErrors collects type-checking problems (empty on success).
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+}
+
+// Loader loads and caches packages. It is not safe for concurrent use.
+type Loader struct {
+	// Fset is shared by every package the loader touches.
+	Fset *token.FileSet
+	// ModuleDir is where go list runs (the module root for repo loads;
+	// any directory inside the module works).
+	ModuleDir string
+	// TestdataSrc, when non-empty, is an overlay root checked before
+	// real packages during import resolution (analysistest's
+	// testdata/src directory).
+	TestdataSrc string
+
+	meta    map[string]*listPkg
+	exports types.Importer
+	source  map[string]*Package // source-checked packages by PkgPath
+}
+
+// New creates a loader rooted at moduleDir.
+func New(moduleDir string) *Loader {
+	l := &Loader{
+		Fset:      token.NewFileSet(),
+		ModuleDir: moduleDir,
+		meta:      make(map[string]*listPkg),
+		source:    make(map[string]*Package),
+	}
+	l.exports = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
+	return l
+}
+
+// lookupExport feeds compiler export data to the gc importer, running
+// go list on demand for paths not yet described.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	p, err := l.describe(path)
+	if err != nil {
+		return nil, err
+	}
+	if p.Export == "" {
+		return nil, fmt.Errorf("loader: no export data for %q", path)
+	}
+	return os.Open(p.Export)
+}
+
+// describe returns go list metadata for one import path, invoking go
+// list if the path is unknown.
+func (l *Loader) describe(path string) (*listPkg, error) {
+	if p, ok := l.meta[path]; ok {
+		return p, nil
+	}
+	if _, err := l.goList(path); err != nil {
+		return nil, err
+	}
+	p, ok := l.meta[path]
+	if !ok {
+		return nil, fmt.Errorf("loader: go list did not describe %q", path)
+	}
+	return p, nil
+}
+
+// goList runs `go list -deps -export -json` on the patterns, merges all
+// described packages into the metadata cache, and returns the roots
+// (the non-DepOnly packages of this invocation) in listing order.
+func (l *Loader) goList(patterns ...string) ([]*listPkg, error) {
+	args := []string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,ImportMap,DepOnly",
+		"--",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleDir
+	// CGO_ENABLED=0 selects the pure-Go file sets everywhere, so source
+	// type-checking never meets a cgo-preprocessed file.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var roots []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		l.meta[p.ImportPath] = p
+		if !p.DepOnly {
+			roots = append(roots, p)
+		}
+	}
+	return roots, nil
+}
+
+// Load type-checks from source every package matching the patterns and
+// returns them in listing order. It fails if any target has parse or
+// type errors.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	roots, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(roots))
+	for _, root := range roots {
+		pkg, err := l.checkDir(root.Dir, root.ImportPath, root.GoFiles, root.ImportMap)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("loader: %s: %v", pkg.PkgPath, pkg.TypeErrors[0])
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir type-checks the package in dir under the given import path,
+// resolving imports through the overlay first. It backs analysistest.
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, name)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.checkDir(dir, pkgPath, files, nil)
+}
+
+// checkDir parses and type-checks one package, caching by import path.
+func (l *Loader) checkDir(dir, pkgPath string, fileNames []string, importMap map[string]string) (*Package, error) {
+	if pkg, ok := l.source[pkgPath]; ok {
+		return pkg, nil
+	}
+	pkg := &Package{PkgPath: pkgPath, Dir: dir}
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.TypesInfo = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	cfg := &types.Config{
+		Importer:    &pkgImporter{loader: l, importMap: importMap},
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := cfg.Check(pkgPath, l.Fset, pkg.Files, pkg.TypesInfo)
+	pkg.Types = tpkg
+	l.source[pkgPath] = pkg
+	return pkg, nil
+}
+
+// pkgImporter resolves one package's imports: vendor/module aliasing
+// via the package's ImportMap, then the testdata overlay, then compiler
+// export data.
+type pkgImporter struct {
+	loader    *Loader
+	importMap map[string]string
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := pi.importMap[path]; ok {
+		path = mapped
+	}
+	l := pi.loader
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.TestdataSrc != "" {
+		dir := filepath.Join(l.TestdataSrc, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			pkg, err := l.LoadDir(dir, path)
+			if err != nil {
+				return nil, err
+			}
+			if len(pkg.TypeErrors) > 0 {
+				return nil, fmt.Errorf("overlay package %s: %v", path, pkg.TypeErrors[0])
+			}
+			return pkg.Types, nil
+		}
+	}
+	return l.exports.Import(path)
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package loader
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func TestLoadRepoPackage(t *testing.T) {
+	l := New(moduleRoot(t))
+	pkgs, err := l.Load("cpr/internal/router")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "cpr/internal/router" {
+		t.Errorf("PkgPath = %q", pkg.PkgPath)
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("no syntax files")
+	}
+	// Type information must cover imported names: find a selector call
+	// and check it resolved.
+	resolved := 0
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if pkg.TypesInfo.Uses[sel.Sel] != nil {
+					resolved++
+				}
+			}
+			return true
+		})
+	}
+	if resolved == 0 {
+		t.Error("no selector expressions resolved; type info missing")
+	}
+}
+
+func TestLoadPatternMultiple(t *testing.T) {
+	l := New(moduleRoot(t))
+	pkgs, err := l.Load("cpr/internal/geom", "cpr/internal/tech")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+}
+
+func TestLoadDirOverlay(t *testing.T) {
+	src := t.TempDir()
+	stub := filepath.Join(src, "example.com", "dep")
+	if err := os.MkdirAll(stub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(path, content string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(filepath.Join(stub, "dep.go"), "package dep\n\nfunc Answer() int { return 42 }\n")
+	main := filepath.Join(src, "target")
+	if err := os.MkdirAll(main, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write(filepath.Join(main, "target.go"), `package target
+
+import (
+	"fmt"
+
+	"example.com/dep"
+)
+
+func Print() { fmt.Println(dep.Answer()) }
+`)
+
+	l := New(moduleRoot(t))
+	l.TestdataSrc = src
+	pkg, err := l.LoadDir(main, "target")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+}

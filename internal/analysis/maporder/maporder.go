@@ -1,0 +1,247 @@
+// Package maporder flags range statements over maps whose body leaks
+// Go's randomized map iteration order into observable results: appending
+// to a slice that outlives the loop, accumulating floating point values
+// (float addition is not associative, so summation order changes bits —
+// exactly the hazard in the paper's LR subgradient accumulation), or
+// writing output.
+//
+// Order-independent bodies — integer counting, keyed map writes,
+// extremum selection with a total-order tie-break — are not flagged.
+// The collect-keys-then-sort idiom is recognized: an append whose slice
+// is passed to a sort.* or slices.* sort call later in the same block is
+// order-safe and ignored. Sites that are deliberately order-dependent
+// in a benign way carry a //cprlint:ordered <reason> comment.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cpr/internal/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name:            "maporder",
+	Doc:             "flags map iteration whose body appends to an outer slice, accumulates floats, or writes output in nondeterministic key order",
+	SuppressAliases: []string{"ordered"},
+	Run:             run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			list := stmtList(n)
+			for i, stmt := range list {
+				rng, ok := unwrapLabel(stmt).(*ast.RangeStmt)
+				if !ok || !isMapRange(pass.TypesInfo, rng) {
+					continue
+				}
+				checkLoop(pass, rng, list[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtList returns the statement list a node directly owns, if any.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch s := n.(type) {
+	case *ast.BlockStmt:
+		return s.List
+	case *ast.CaseClause:
+		return s.Body
+	case *ast.CommClause:
+		return s.Body
+	}
+	return nil
+}
+
+func unwrapLabel(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}
+
+func isMapRange(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkLoop reports order-dependent effects in one map range body. tail
+// is the rest of the loop's enclosing statement list, consulted for the
+// sort-after-collect idiom.
+func checkLoop(pass *analysis.Pass, rng *ast.RangeStmt, tail []ast.Stmt) {
+	sortedAfter := sortedVars(pass.TypesInfo, tail)
+	subject := types.ExprString(rng.X)
+	reported := map[string]bool{}
+	report := func(kind string, format string, args ...any) {
+		if !reported[kind] {
+			reported[kind] = true
+			pass.Reportf(rng.For, format, args...)
+		}
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			// A closure body runs when called, not per iteration; its
+			// own hazards are out of scope here.
+			return false
+		case *ast.AssignStmt:
+			checkAssign(pass, rng, s, subject, sortedAfter, report)
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && isOutputCall(pass.TypesInfo, call) {
+				report("write", "range over map %s: writes output in nondeterministic key order (sort the keys first, or annotate //cprlint:ordered <reason>)", subject)
+			}
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, rng *ast.RangeStmt, s *ast.AssignStmt, subject string, sortedAfter map[*types.Var]bool, report func(kind, format string, args ...any)) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range s.Rhs {
+			if i >= len(s.Lhs) {
+				break
+			}
+			lhs := s.Lhs[i]
+			v := rootVar(pass.TypesInfo, lhs)
+			if v == nil || declaredInside(v, rng) {
+				continue
+			}
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isAppend(pass.TypesInfo, call) {
+				if sortedAfter[v] {
+					continue
+				}
+				report("append:"+v.Name(), "range over map %s: appends to %q in nondeterministic key order (sort the keys first, or annotate //cprlint:ordered <reason>)", subject, v.Name())
+				continue
+			}
+			// x = x + e on floats.
+			if bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr); ok && analysis.IsFloat(v.Type()) {
+				if sameVar(pass.TypesInfo, bin.X, lhs) || sameVar(pass.TypesInfo, bin.Y, lhs) {
+					report("float:"+v.Name(), "range over map %s: accumulates floating point into %q in nondeterministic key order (float addition is order-dependent; sort the keys first, or annotate //cprlint:ordered <reason>)", subject, v.Name())
+				}
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		v := rootVar(pass.TypesInfo, s.Lhs[0])
+		if v == nil || declaredInside(v, rng) {
+			return
+		}
+		target := pass.TypesInfo.Types[s.Lhs[0]].Type
+		if target != nil && analysis.IsFloat(target) {
+			report("float:"+v.Name(), "range over map %s: accumulates floating point into %q in nondeterministic key order (float addition is order-dependent; sort the keys first, or annotate //cprlint:ordered <reason>)", subject, v.Name())
+		}
+	}
+}
+
+// rootVar resolves the base variable of an lvalue chain (x, x.f, x[i],
+// *x, and combinations).
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[x].(*types.Var)
+			if v == nil {
+				v, _ = info.Defs[x].(*types.Var)
+			}
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func sameVar(info *types.Info, a, b ast.Expr) bool {
+	va := analysis.ObjectOf(info, a)
+	vb := analysis.ObjectOf(info, b)
+	return va != nil && va == vb
+}
+
+// declaredInside reports whether v's declaration lies within the range
+// statement (loop variables and body-locals are order-safe scratch).
+func declaredInside(v *types.Var, rng *ast.RangeStmt) bool {
+	return v.Pos() >= rng.Pos() && v.Pos() <= rng.End()
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isOutputCall recognizes calls that externalize data: fmt printing to
+// streams and Write/Encode-family methods.
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.FuncOf(info, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	if pkg := fn.Pkg(); pkg != nil && fn.Type().(*types.Signature).Recv() == nil {
+		switch pkg.Path() {
+		case "fmt":
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return true
+			}
+		case "io":
+			return name == "WriteString"
+		}
+		return false
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		return true
+	}
+	return false
+}
+
+// sortedVars finds slices passed to a sort call in the statements after
+// the loop: sort.Strings(keys), sort.Slice(keys, ...), slices.Sort(keys),
+// and friends mark their argument order-safe.
+func sortedVars(info *types.Info, tail []ast.Stmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for _, stmt := range tail {
+		es, ok := unwrapLabel(stmt).(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		fn := analysis.FuncOf(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			continue
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			continue
+		}
+		if v := rootVar(info, call.Args[0]); v != nil {
+			out[v] = true
+		}
+	}
+	return out
+}

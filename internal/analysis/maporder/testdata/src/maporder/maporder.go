@@ -1,0 +1,155 @@
+// Package maporder is golden input for the maporder analyzer.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// AppendLeak appends in map order: flagged.
+func AppendLeak(m map[string]int) []string {
+	var names []string
+	for k := range m { // want `appends to "names" in nondeterministic key order`
+		names = append(names, k)
+	}
+	return names
+}
+
+// CollectThenSort is the blessed idiom: append then sort in the same
+// block. Not flagged.
+func CollectThenSort(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CollectThenSortSlice uses sort.Slice: still order-safe.
+func CollectThenSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// FloatAccumulate sums floats in map order: flagged (bit-level result
+// depends on iteration order).
+func FloatAccumulate(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `accumulates floating point into "total"`
+		total += v
+	}
+	return total
+}
+
+// FloatAssignForm is the x = x + e spelling of the same bug.
+func FloatAssignForm(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `accumulates floating point into "total"`
+		total = total + v
+	}
+	return total
+}
+
+// IntAccumulate sums integers: order-independent, not flagged.
+func IntAccumulate(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// KeyedWrites build another map: order-independent, not flagged.
+func KeyedWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// PrintLeak writes output in map order: flagged.
+func PrintLeak(m map[string]int) {
+	for k, v := range m { // want `writes output in nondeterministic key order`
+		fmt.Println(k, v)
+	}
+}
+
+// BufferLeak writes to a buffer in map order: flagged.
+func BufferLeak(m map[string]int, buf *bytes.Buffer) {
+	for k := range m { // want `writes output in nondeterministic key order`
+		buf.WriteString(k)
+	}
+}
+
+// SliceRange ranges over a slice: never flagged.
+func SliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// LoopLocalScratch appends to a slice scoped inside the loop body:
+// order-safe, not flagged.
+func LoopLocalScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// ClosureBody defines but does not run a closure per iteration; the
+// closure's internals are out of scope for this loop.
+func ClosureBody(m map[string]int) []func() float64 {
+	var fns []func() float64
+	//cprlint:ordered closure registration order never escapes: the slice is only counted
+	for _, v := range m {
+		v := v
+		fns = append(fns, func() float64 {
+			s := 0.0
+			s += float64(v)
+			return s
+		})
+	}
+	return fns
+}
+
+// Suppressed carries a justified //cprlint:ordered comment: silenced.
+func Suppressed(m map[string]int) []string {
+	var names []string
+	//cprlint:ordered result feeds a set comparison; order is irrelevant downstream
+	for k := range m {
+		names = append(names, k)
+	}
+	return names
+}
+
+// SuppressedInline is silenced by a same-line comment.
+func SuppressedInline(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { //cprlint:ordered compensated summation applied by caller
+		total += v
+	}
+	return total
+}
+
+// BadSuppression has no reason text, so it does not silence anything.
+func BadSuppression(m map[string]int) []string {
+	var names []string
+	//cprlint:ordered
+	for k := range m { // want `appends to "names" in nondeterministic key order`
+		names = append(names, k)
+	}
+	return names
+}

@@ -1,0 +1,161 @@
+// Package mutexcopy flags copies of values whose type contains a sync
+// primitive (Mutex, RWMutex, WaitGroup, Once, Cond, Pool, Map). A
+// copied lock is a distinct lock: code guarding shared state through
+// the copy silently loses mutual exclusion — for this repo that means
+// jobs.Job or jobs.Manager state observed without their locks.
+//
+// Flagged shapes: by-value receivers and parameters of lock-bearing
+// types, plain variable-to-variable (or dereference) assignments, and
+// range value variables. Composite literals and function call results
+// are initializations, not copies of a live lock, and stay legal.
+package mutexcopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cpr/internal/analysis"
+)
+
+// Analyzer is the mutexcopy pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flags by-value copies of structs containing sync primitives (params, receivers, assignments, range variables)",
+	Run:  run,
+}
+
+// lockTypes are the sync types that must not be copied after first use.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(pass, s.Recv, "receiver")
+				if s.Type.Params != nil {
+					checkFieldList(pass, s.Type.Params, "parameter")
+				}
+			case *ast.FuncLit:
+				if s.Type.Params != nil {
+					checkFieldList(pass, s.Type.Params, "parameter")
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range s.Rhs {
+					if i >= len(s.Lhs) {
+						break
+					}
+					checkCopyExpr(pass, rhs)
+				}
+			case *ast.RangeStmt:
+				if s.Value != nil {
+					if t := exprType(pass.TypesInfo, s.Value); t != nil && containsLock(t, nil) {
+						pass.Reportf(s.Value.Pos(),
+							"range value copies %s which contains a sync primitive; iterate by index or over pointers", typeName(t))
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range s.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						checkCopyExpr(pass, v)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCopyExpr flags reads of an existing lock-bearing value: an
+// identifier, field, element, or dereference. Literals and calls create
+// fresh values and are fine.
+func checkCopyExpr(pass *analysis.Pass, e ast.Expr) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil || !containsLock(t, nil) {
+		return
+	}
+	pass.Reportf(e.Pos(), "assignment copies %s which contains a sync primitive; use a pointer", typeName(t))
+}
+
+func checkFieldList(pass *analysis.Pass, fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		if _, isPtr := ast.Unparen(field.Type).(*ast.StarExpr); isPtr {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(tv.Type, nil) {
+			pass.Reportf(field.Type.Pos(),
+				"by-value %s copies %s which contains a sync primitive; use a pointer", kind, typeName(tv.Type))
+		}
+	}
+}
+
+// containsLock reports whether a value of type t embeds a sync
+// primitive by value, recursively through structs and arrays.
+func containsLock(t types.Type, seen []*types.Named) bool {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return true
+		}
+		for _, s := range seen {
+			if s == named {
+				return false
+			}
+		}
+		seen = append(seen, named)
+		return containsLock(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// exprType resolves an expression's type, falling back to the defined
+// object for idents introduced by the statement itself (range := vars
+// have no Types entry, only a Defs one).
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if t := info.Types[e].Type; t != nil {
+		return t
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj, ok := info.Defs[id]; ok && obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func typeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

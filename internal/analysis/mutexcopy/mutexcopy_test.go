@@ -1,0 +1,12 @@
+package mutexcopy_test
+
+import (
+	"testing"
+
+	"cpr/internal/analysis/analysistest"
+	"cpr/internal/analysis/mutexcopy"
+)
+
+func TestMutexcopy(t *testing.T) {
+	analysistest.Run(t, "testdata", mutexcopy.Analyzer, "mutexcopy")
+}

@@ -1,0 +1,98 @@
+// Package mutexcopy is golden input for the mutexcopy analyzer.
+package mutexcopy
+
+import "sync"
+
+// Guarded is a lock-bearing struct.
+type Guarded struct {
+	mu    sync.Mutex
+	count int
+}
+
+// Nested embeds a lock-bearing struct by value.
+type Nested struct {
+	inner Guarded
+	name  string
+}
+
+// ByValueParam copies the lock: flagged.
+func ByValueParam(g Guarded) int { // want `by-value parameter copies mutexcopy\.Guarded`
+	return g.count
+}
+
+// ByValueReceiver copies the lock on every call: flagged.
+func (g Guarded) Peek() int { // want `by-value receiver copies mutexcopy\.Guarded`
+	return g.count
+}
+
+// ByValueNested copies a struct that transitively holds a lock: flagged.
+func ByValueNested(n Nested) string { // want `by-value parameter copies mutexcopy\.Nested`
+	return n.name
+}
+
+// PointerParam shares the lock: legal.
+func PointerParam(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.count
+}
+
+// PointerReceiver is the correct method shape.
+func (g *Guarded) Incr() {
+	g.mu.Lock()
+	g.count++
+	g.mu.Unlock()
+}
+
+// AssignCopy duplicates a live lock: flagged.
+func AssignCopy(g *Guarded) int {
+	snapshot := *g // want `assignment copies mutexcopy\.Guarded`
+	return snapshot.count
+}
+
+// VarToVar copies between variables: flagged.
+func VarToVar() int {
+	var a Guarded
+	b := a // want `assignment copies mutexcopy\.Guarded`
+	return b.count
+}
+
+// CompositeInit creates a fresh value: legal.
+func CompositeInit() *Guarded {
+	g := Guarded{count: 1}
+	return &g
+}
+
+// RangeCopy copies each element's lock: flagged.
+func RangeCopy(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want `range value copies mutexcopy\.Guarded`
+		total += g.count
+	}
+	return total
+}
+
+// RangeByIndex is the legal iteration.
+func RangeByIndex(gs []Guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].count
+	}
+	return total
+}
+
+// PlainStruct has no lock: never flagged.
+type PlainStruct struct{ n int }
+
+func CopyPlain(p PlainStruct) PlainStruct {
+	q := p
+	return q
+}
+
+// Suppressed documents an intentional pre-publication copy.
+func Suppressed() Guarded {
+	var g Guarded
+	//cprlint:mutexcopy value has never been shared; copy happens before first Lock
+	h := g
+	return h
+}

@@ -1,0 +1,17 @@
+package nondeterm_test
+
+import (
+	"testing"
+
+	"cpr/internal/analysis/analysistest"
+	"cpr/internal/analysis/nondeterm"
+)
+
+func TestNondeterm(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterm.Analyzer,
+		"cpr/internal/lagrange",
+		"cpr/internal/jobs",
+		"cpr/cmd/tool",
+		"other",
+	)
+}

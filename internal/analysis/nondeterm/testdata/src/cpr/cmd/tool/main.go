@@ -1,0 +1,12 @@
+// Command tool is golden input: cmd/ packages are allowlisted.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now(), rand.Int())
+}

@@ -1,0 +1,16 @@
+// Package jobs is golden input: an allowlisted driver-layer package
+// where wall clocks and environment reads are legitimate.
+package jobs
+
+import (
+	"os"
+	"time"
+)
+
+// Submit timestamps jobs; never flagged.
+func Submit() time.Time {
+	if os.Getenv("CPRD_DEBUG") != "" {
+		return time.Time{}
+	}
+	return time.Now()
+}

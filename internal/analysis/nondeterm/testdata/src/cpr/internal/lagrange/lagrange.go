@@ -1,0 +1,42 @@
+// Package lagrange is golden input: a restricted, result-producing
+// package where nondeterministic inputs are forbidden.
+package lagrange
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Solve exercises every forbidden call family.
+func Solve() float64 {
+	start := time.Now() // want `call to time\.Now in result-producing package`
+	x := rand.Float64() // want `call to math/rand\.Float64 in result-producing package`
+	if os.Getenv("CPR_FAST") != "" { // want `call to os\.Getenv in result-producing package`
+		x *= 2
+	}
+	if runtime.GOMAXPROCS(0) > 4 { // want `call to runtime\.GOMAXPROCS in result-producing package`
+		x += 1
+	}
+	_ = time.Since(start) // want `call to time\.Since in result-producing package`
+	return x
+}
+
+// Elapsed demonstrates the sanctioned escape hatch: wall-clock metrics
+// that never feed a result are justified and silenced.
+func Elapsed() time.Duration {
+	start := time.Now() //cprlint:nondeterm wall-clock metric only; never feeds the solution
+	work()
+	//cprlint:nondeterm wall-clock metric only; never feeds the solution
+	return time.Since(start)
+}
+
+// Deterministic code draws no diagnostics.
+func work() {
+	total := 0
+	for i := 0; i < 100; i++ {
+		total += i
+	}
+	_ = total
+}

@@ -1,0 +1,8 @@
+// Package other is golden input: packages outside the restricted set
+// are not checked.
+package other
+
+import "time"
+
+// Stamp is fine here.
+func Stamp() time.Time { return time.Now() }

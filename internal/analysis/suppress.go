@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// SuppressionPrefix starts every cprlint suppression comment. The full
+// syntax is
+//
+//	//cprlint:<name> <reason>
+//
+// where <name> is an analyzer name (or one of its aliases, e.g.
+// "ordered" for maporder) and <reason> is mandatory free text justifying
+// the suppression. A suppression applies to findings of that analyzer on
+// its own line, or — when it is the only thing on its line — on the next
+// line. A suppression without a reason is itself a finding.
+const SuppressionPrefix = "//cprlint:"
+
+// Suppression is one parsed //cprlint: comment.
+type Suppression struct {
+	// Name is the analyzer name or alias being suppressed.
+	Name string
+	// Reason is the mandatory justification text (may be empty in a
+	// malformed comment; drivers must report that).
+	Reason string
+	// Pos is the comment's position.
+	Pos token.Pos
+	// File and Line locate the comment.
+	File string
+	Line int
+	// OwnLine reports whether the comment is alone on its line (a
+	// leading comment), in which case it covers the following line.
+	OwnLine bool
+}
+
+// ParseSuppressions extracts every //cprlint: comment from a file.
+func ParseSuppressions(fset *token.FileSet, f *ast.File) []Suppression {
+	var out []Suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, SuppressionPrefix) {
+				continue
+			}
+			body := strings.TrimPrefix(c.Text, SuppressionPrefix)
+			name, reason, _ := strings.Cut(body, " ")
+			pos := fset.Position(c.Slash)
+			// The comment is alone on its line when nothing but
+			// whitespace precedes it.
+			ownLine := pos.Column == 1 || onlyIndentBefore(fset, f, c.Slash)
+			out = append(out, Suppression{
+				Name:    strings.TrimSpace(name),
+				Reason:  strings.TrimSpace(reason),
+				Pos:     c.Slash,
+				File:    pos.Filename,
+				Line:    pos.Line,
+				OwnLine: ownLine,
+			})
+		}
+	}
+	return out
+}
+
+// onlyIndentBefore reports whether every AST node on the comment's line
+// starts at or after the comment — i.e. the comment leads its line. It
+// approximates by checking that no non-comment node ends on that line
+// before the comment starts.
+func onlyIndentBefore(fset *token.FileSet, f *ast.File, slash token.Pos) bool {
+	line := fset.Position(slash).Line
+	lead := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !lead {
+			return false
+		}
+		if _, ok := n.(*ast.Comment); ok {
+			return false
+		}
+		end := n.End()
+		if end.IsValid() && end < slash && fset.Position(end).Line == line {
+			// Something real ends on this line before the comment.
+			if _, isFile := n.(*ast.File); !isFile {
+				lead = false
+			}
+		}
+		return true
+	})
+	return lead
+}
+
+// Suppresses reports whether s silences analyzer a's finding at
+// file:line. An own-line comment covers the next line; any comment
+// covers its own line. Suppressions with empty reasons never apply —
+// the driver reports them as findings instead, so an unjustified
+// suppression cannot hide anything.
+func (s Suppression) Suppresses(a *Analyzer, file string, line int) bool {
+	if s.Reason == "" || s.File != file {
+		return false
+	}
+	if s.Name != a.Name && !contains(a.SuppressAliases, s.Name) {
+		return false
+	}
+	if s.Line == line {
+		return true
+	}
+	return s.OwnLine && s.Line == line-1
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckSuppressions validates every //cprlint: comment in files: the
+// named analyzer must exist (known maps analyzer names and aliases to
+// true) and the reason text is mandatory. Violations come back as
+// diagnostics so an unjustified or misspelled suppression is itself a
+// finding — the suppression syntax cannot silently rot.
+func CheckSuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range files {
+		for _, s := range ParseSuppressions(fset, f) {
+			if s.Name == "" {
+				out = append(out, Diagnostic{Pos: s.Pos,
+					Message: "malformed suppression: want //cprlint:<analyzer> <reason>"})
+				continue
+			}
+			if !known[s.Name] {
+				out = append(out, Diagnostic{Pos: s.Pos,
+					Message: "suppression names unknown analyzer " + strconv.Quote(s.Name)})
+				continue
+			}
+			if s.Reason == "" {
+				out = append(out, Diagnostic{Pos: s.Pos,
+					Message: "suppression of " + s.Name + " has no reason text; a justification is mandatory"})
+			}
+		}
+	}
+	return out
+}
+
+// Filter removes diagnostics silenced by a suppression in files and
+// returns the survivors. It is shared by cmd/cprlint and analysistest so
+// suppression-comment golden tests exercise exactly the production
+// filtering.
+func Filter(fset *token.FileSet, files []*ast.File, a *Analyzer, diags []Diagnostic) []Diagnostic {
+	var sups []Suppression
+	for _, f := range files {
+		sups = append(sups, ParseSuppressions(fset, f)...)
+	}
+	if len(sups) == 0 {
+		return diags
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		silenced := false
+		for _, s := range sups {
+			if s.Suppresses(a, pos.Filename, pos.Line) {
+				silenced = true
+				break
+			}
+		}
+		if !silenced {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

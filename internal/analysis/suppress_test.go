@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestParseSuppressions(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func F() {
+	a := 1 //cprlint:maporder same-line with a reason
+	//cprlint:ordered own-line reason
+	b := 2
+	//cprlint:nondeterm
+	_ = a + b
+}
+`)
+	sups := ParseSuppressions(fset, f)
+	if len(sups) != 3 {
+		t.Fatalf("got %d suppressions, want 3", len(sups))
+	}
+	if sups[0].Name != "maporder" || sups[0].Reason != "same-line with a reason" || sups[0].OwnLine {
+		t.Errorf("first suppression parsed wrong: %+v", sups[0])
+	}
+	if sups[1].Name != "ordered" || !sups[1].OwnLine {
+		t.Errorf("second suppression parsed wrong: %+v", sups[1])
+	}
+	if sups[2].Name != "nondeterm" || sups[2].Reason != "" {
+		t.Errorf("third suppression parsed wrong: %+v", sups[2])
+	}
+}
+
+func TestFilterScope(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func F() {
+	a := 1 //cprlint:maporder justified here
+	b := 2
+	//cprlint:maporder own-line covers the next line
+	c := 3
+	d := 4
+}
+`)
+	a := &Analyzer{Name: "maporder", SuppressAliases: []string{"ordered"}}
+	mk := func(line int) Diagnostic {
+		// Fabricate a position on the wanted line via the file's line table.
+		tf := fset.File(f.Pos())
+		return Diagnostic{Pos: tf.LineStart(line), Message: "m"}
+	}
+	diags := []Diagnostic{mk(4), mk(5), mk(7), mk(8)}
+	kept := Filter(fset, []*ast.File{f}, a, diags)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2 (lines 5 and 8)", len(kept))
+	}
+	for _, d := range kept {
+		line := fset.Position(d.Pos).Line
+		if line != 5 && line != 8 {
+			t.Errorf("unexpectedly kept line %d", line)
+		}
+	}
+}
+
+func TestFilterAlias(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func F() {
+	a := 1 //cprlint:ordered alias must hit maporder
+	_ = a
+}
+`)
+	a := &Analyzer{Name: "maporder", SuppressAliases: []string{"ordered"}}
+	tf := fset.File(f.Pos())
+	kept := Filter(fset, []*ast.File{f}, a, []Diagnostic{{Pos: tf.LineStart(4), Message: "m"}})
+	if len(kept) != 0 {
+		t.Fatalf("alias suppression did not apply: %d kept", len(kept))
+	}
+}
+
+func TestFilterRefusesOtherAnalyzer(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func F() {
+	a := 1 //cprlint:nondeterm wrong analyzer name
+	_ = a
+}
+`)
+	a := &Analyzer{Name: "maporder"}
+	tf := fset.File(f.Pos())
+	kept := Filter(fset, []*ast.File{f}, a, []Diagnostic{{Pos: tf.LineStart(4), Message: "m"}})
+	if len(kept) != 1 {
+		t.Fatalf("suppression for a different analyzer must not apply")
+	}
+}
+
+func TestFilterRefusesEmptyReason(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func F() {
+	a := 1 //cprlint:maporder
+	_ = a
+}
+`)
+	a := &Analyzer{Name: "maporder"}
+	tf := fset.File(f.Pos())
+	kept := Filter(fset, []*ast.File{f}, a, []Diagnostic{{Pos: tf.LineStart(4), Message: "m"}})
+	if len(kept) != 1 {
+		t.Fatalf("reason-less suppression must not silence diagnostics")
+	}
+}
+
+func TestCheckSuppressions(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func F() {
+	//cprlint:maporder fine, has a reason
+	//cprlint:maporder
+	//cprlint:odered typo'd analyzer name
+	//cprlint:
+}
+`)
+	known := map[string]bool{"maporder": true, "ordered": true}
+	diags := CheckSuppressions(fset, []*ast.File{f}, known)
+	if len(diags) != 3 {
+		t.Fatalf("got %d findings, want 3: %v", len(diags), diags)
+	}
+	wants := []string{"has no reason text", "unknown analyzer", "malformed suppression"}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentioning %q in %v", w, diags)
+		}
+	}
+}

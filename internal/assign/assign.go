@@ -20,6 +20,7 @@ package assign
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"cpr/internal/conflict"
 	"cpr/internal/ilp"
@@ -231,7 +232,15 @@ func (s *Solution) Lengths(set *pinaccess.Set) LengthStats {
 	n := 0
 	var sum, sumSq float64
 	st.Min = math.MaxInt
-	for _, iv := range s.ByPin {
+	// Sum in sorted pin order: float addition is order-dependent, and
+	// Mean/StdDev are part of the reported (and cached) result.
+	pids := make([]int, 0, len(s.ByPin))
+	for pid := range s.ByPin {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		iv := s.ByPin[pid]
 		l := set.Intervals[iv].Span.Len()
 		st.Total += l
 		if l < st.Min {

@@ -271,6 +271,8 @@ type Manager struct {
 // New creates a manager and starts its worker goroutines. The cache may
 // be shared with other components for stats reporting; pass nil to run
 // without caching.
+//
+//cprlint:ctxpass worker lifecycle is bound to the queue channel; Drain(ctx) closes it and honors its context
 func New(cfg Config, c *cache.Cache[*core.RunResult]) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{

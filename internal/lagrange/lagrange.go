@@ -399,7 +399,15 @@ func refine(m *assign.Model, sol *assign.Solution) int {
 	for pass := 0; pass <= m.NumPins()+1; pass++ {
 		selected := make([]bool, m.NumIntervals())
 		users := make(map[int][]int) // interval -> pins using it
-		for pid, iv := range sol.ByPin {
+		// Sorted pin order keeps users[iv] (and thus demote order)
+		// independent of map iteration order.
+		pids := make([]int, 0, len(sol.ByPin))
+		for pid := range sol.ByPin {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		for _, pid := range pids {
+			iv := sol.ByPin[pid]
 			selected[iv] = true
 			users[iv] = append(users[iv], pid)
 		}

@@ -7,6 +7,7 @@ package render
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"cpr/internal/design"
@@ -82,12 +83,19 @@ func SVG(w io.Writer, d *design.Design, g *grid.Graph, res *router.Result,
 	// Reserved intervals (translucent bands under the metal).
 	if opts.ShowIntervals {
 		for _, s := range seeds {
+			// Emit intervals in sorted ID order so the SVG bytes are
+			// identical run to run.
 			drawn := map[int]bool{}
+			var ivIDs []int
 			for _, ivID := range s.ByPin {
 				if drawn[ivID] {
 					continue
 				}
 				drawn[ivID] = true
+				ivIDs = append(ivIDs, ivID)
+			}
+			sort.Ints(ivIDs)
+			for _, ivID := range ivIDs {
 				iv := &s.Set.Intervals[ivID]
 				fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.15"/>`+"\n",
 					iv.Span.Lo*cs, flipY(iv.Track), iv.Span.Len()*cs, cs, netColor(iv.NetID))

@@ -33,18 +33,30 @@ func (r *Router) segmentsOf(nr *NetRoute) []metalSegment {
 			m3[x] = append(m3[x], y)
 		}
 	}
+	// Iterate tracks in sorted order: seg order flows into nr.Virtual and
+	// from there into the result, so map order must not leak.
 	var segs []metalSegment
-	for track, cells := range m2 {
-		for _, span := range runs(cells) {
+	for _, track := range sortedTracks(m2) {
+		for _, span := range runs(m2[track]) {
 			segs = append(segs, metalSegment{netID: nr.NetID, layer: tech.M2, track: track, span: span})
 		}
 	}
-	for track, cells := range m3 {
-		for _, span := range runs(cells) {
+	for _, track := range sortedTracks(m3) {
+		for _, span := range runs(m3[track]) {
 			segs = append(segs, metalSegment{netID: nr.NetID, layer: tech.M3, track: track, span: span})
 		}
 	}
 	return segs
+}
+
+// sortedTracks returns a track map's keys in ascending order.
+func sortedTracks(m map[int][]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // runs converts a cell coordinate multiset into maximal consecutive runs.

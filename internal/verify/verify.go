@@ -185,21 +185,34 @@ func checkLineEnds(d *design.Design, g *grid.Graph, res *router.Result, rep *Rep
 				m3[x] = append(m3[x], y)
 			}
 		}
-		for track, cells := range m2 {
-			for _, span := range cellRuns(cells) {
+		for _, track := range sortedIntKeys(m2) {
+			for _, span := range cellRuns(m2[track]) {
 				byTrack[stripKey{tech.M2, track}] = append(byTrack[stripKey{tech.M2, track}],
 					strip{netID, extended(span, t, d.Width)})
 			}
 		}
-		for track, cells := range m3 {
-			for _, span := range cellRuns(cells) {
+		for _, track := range sortedIntKeys(m3) {
+			for _, span := range cellRuns(m3[track]) {
 				byTrack[stripKey{tech.M3, track}] = append(byTrack[stripKey{tech.M3, track}],
 					strip{netID, extended(span, t, d.Height)})
 			}
 		}
 	}
 
-	for key, strips := range byTrack {
+	// Visit tracks in (layer, track) order so violation messages land in
+	// Report.Errors deterministically.
+	keys := make([]stripKey, 0, len(byTrack))
+	for key := range byTrack {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].layer != keys[j].layer {
+			return keys[i].layer < keys[j].layer
+		}
+		return keys[i].track < keys[j].track
+	})
+	for _, key := range keys {
+		strips := byTrack[key]
 		sort.Slice(strips, func(a, b int) bool {
 			if strips[a].span.Lo != strips[b].span.Lo {
 				return strips[a].span.Lo < strips[b].span.Lo
@@ -287,4 +300,14 @@ func abs(v int) int {
 		return -v
 	}
 	return v
+}
+
+// sortedIntKeys returns a map's integer keys in ascending order.
+func sortedIntKeys(m map[int][]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }

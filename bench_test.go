@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"cpr/internal/assign"
+	"cpr/internal/cache"
 	"cpr/internal/conflict"
 	"cpr/internal/core"
 	"cpr/internal/cutmask"
@@ -27,6 +28,7 @@ import (
 	"cpr/internal/lagrange"
 	"cpr/internal/lp"
 	"cpr/internal/pinaccess"
+	"cpr/internal/pipeline"
 	"cpr/internal/router"
 	"cpr/internal/synth"
 )
@@ -405,4 +407,96 @@ func BenchmarkCutMaskAnalysis(b *testing.B) {
 		rep := cutmask.Analyze(d, g, res, cutmask.Params{})
 		b.ReportMetric(float64(rep.MaskComplexity()), "cutShapes")
 	}
+}
+
+// --- Incremental (ECO) re-optimization ---------------------------------
+//
+// BenchmarkIncremental pairs a cold full run with a Rerun after a
+// single-pin edit on the 32-panel large circuit: the incremental path
+// recomputes only the panels the edit dirtied and splices the previous
+// artifacts for the rest (byte-identical results; see internal/core
+// rerun tests). `go test -bench Incremental -benchtime 3x .` regenerates
+// BENCH_incremental.json / results/incremental_speedup.txt.
+
+// benchEditOnePin returns a copy of d with one pin moved one column, the
+// canonical single-pin ECO edit. It scans for a pin whose move keeps the
+// design valid.
+func benchEditOnePin(b *testing.B, d *design.Design) *design.Design {
+	b.Helper()
+	for i := range d.Pins {
+		edited := *d
+		edited.Pins = append([]design.Pin(nil), d.Pins...)
+		p := &edited.Pins[i]
+		p.Shape.X0++
+		p.Shape.X1++
+		if p.Shape.X1 < edited.Width && edited.Validate() == nil {
+			return &edited
+		}
+	}
+	b.Fatal("no movable pin")
+	return nil
+}
+
+func BenchmarkIncrementalRerun(b *testing.B) {
+	d, err := synth.Generate(benchLargeSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev, err := core.Run(d, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edited := benchEditOnePin(b, d)
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(edited, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.PinOpt.Objective, "objective")
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.Rerun(prev, edited, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.PinOpt.Objective, "objective")
+			b.ReportMetric(float64(res.Incremental.Reused), "reusedPanels")
+			b.ReportMetric(float64(len(res.Incremental.Recomputed)), "recomputedPanels")
+		}
+	})
+}
+
+// BenchmarkIncrementalPinOpt isolates the optimization phase (the part
+// panel artifacts can skip; routing always runs in full): cold per-panel
+// optimization vs the same design answered from a warmed panel cache.
+func BenchmarkIncrementalPinOpt(b *testing.B) {
+	d, err := synth.Generate(benchLargeSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edited := benchEditOnePin(b, d)
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.OptimizePinAccess(edited, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		pc := cache.New[*pipeline.PanelArtifact](0)
+		if _, _, err := core.OptimizePinAccess(d, core.Options{PanelCache: pc}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.OptimizePinAccess(edited, core.Options{PanelCache: pc}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -28,6 +28,8 @@ type (
 	Job = httpapi.Job
 	// Result is the completed-run payload inside a Job.
 	Result = httpapi.Result
+	// IncrementalSummary reports panel reuse inside a Result.
+	IncrementalSummary = httpapi.IncrementalSummary
 	// Stats is the body of GET /v1/stats.
 	Stats = httpapi.Stats
 	// Health is the body of GET /v1/healthz.
@@ -82,6 +84,14 @@ func (c *Client) SubmitDesign(ctx context.Context, designText string, opts *Opti
 // SubmitSpec submits a synthetic-circuit spec for server-side generation.
 func (c *Client) SubmitSpec(ctx context.Context, spec Spec, opts *Options) (*Job, error) {
 	return c.Submit(ctx, SubmitRequest{Spec: &spec, Options: opts})
+}
+
+// SubmitIncremental submits an edited design to rerun against a finished
+// base job: unchanged panels are spliced from the base's artifacts and
+// only the dirtied ones are recomputed. The result is byte-identical to
+// a cold submission of the same design.
+func (c *Client) SubmitIncremental(ctx context.Context, designText, baseJobID string, opts *Options) (*Job, error) {
+	return c.Submit(ctx, SubmitRequest{Design: designText, BaseJob: baseJobID, Options: opts})
 }
 
 // Job fetches one job by ID.

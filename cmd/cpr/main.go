@@ -8,6 +8,7 @@
 //	cpr -circuit div -mode sequential
 //	cpr -nets 500 -width 200 -height 100 -seed 7 -mode nopinopt
 //	cpr -circuit ecc -mode cpr -optimizer ilp -ilp-timeout 30s
+//	cpr -load edited.cprd -baseline original.cprd   # incremental (ECO) rerun
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		workers    = cliutil.Workers()
 		ilpTimeout = cliutil.ILPTimeout(30 * time.Second)
 		verbose    = flag.Bool("v", false, "print pin optimization and stage details")
+		baseline   = cliutil.Baseline()
 		loadPath   = flag.String("load", "", "load the design from a cpr-design file instead of generating")
 		savePath   = flag.String("save", "", "write the design to a cpr-design file before routing")
 		svgPath    = flag.String("svg", "", "write the routed layout as SVG")
@@ -80,7 +82,20 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := core.Run(d, opts)
+	var res *core.RunResult
+	if *baseline != "" {
+		base, berr := cliutil.ReadDesign(*baseline)
+		if berr != nil {
+			fatal(berr)
+		}
+		baseRes, berr := core.Run(base, opts)
+		if berr != nil {
+			fatal(fmt.Errorf("baseline run: %w", berr))
+		}
+		res, err = core.Rerun(baseRes, d, opts)
+	} else {
+		res, err = core.Run(d, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -102,6 +117,10 @@ func main() {
 
 	fmt.Println(metrics.Header())
 	fmt.Println(res.Metrics.Row())
+	if inc := res.Incremental; inc != nil {
+		fmt.Printf("incremental: reused %d/%d panels, recomputed %d\n",
+			inc.Reused, inc.Panels, len(inc.Recomputed))
+	}
 	if *verbose {
 		fmt.Printf("initial congested grids: %d\n", res.Metrics.InitialCongested)
 		fmt.Printf("negotiation iterations:  %d\n", res.Metrics.NegotiationIters)

@@ -26,7 +26,6 @@ import (
 	"syscall"
 	"time"
 
-	"cpr/internal/cache"
 	"cpr/internal/cliutil"
 	"cpr/internal/core"
 	"cpr/internal/design"
@@ -41,12 +40,13 @@ func main() {
 		queueCap     = flag.Int("queue-cap", 64, "max queued jobs before 429 backpressure")
 		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job execution deadline (0 = none)")
 		cacheCap     = flag.Int("cache-cap", 1024, "max cached results (LRU eviction)")
+		panelCap     = flag.Int("panel-cache-cap", 16384, "max cached per-panel artifacts (LRU eviction)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 		workers      = cliutil.Workers()
 	)
 	flag.Parse()
 
-	resultCache := cache.New[*core.RunResult](*cacheCap)
+	resultCache := jobs.NewResultCache(*cacheCap, *panelCap)
 	mgr := jobs.New(jobs.Config{
 		MaxConcurrent: *maxJobs,
 		QueueCap:      *queueCap,
@@ -56,6 +56,12 @@ func main() {
 				opts.Workers = *workers
 			}
 			return core.RunContext(ctx, d, opts)
+		},
+		Rerun: func(ctx context.Context, prev *core.RunResult, d *design.Design, opts core.Options) (*core.RunResult, error) {
+			if opts.Workers == 0 {
+				opts.Workers = *workers
+			}
+			return core.RerunContext(ctx, prev, d, opts)
 		},
 	}, resultCache)
 

@@ -7,6 +7,7 @@
 //	pinopt -pins 800                 # LR on a synthetic sweep instance
 //	pinopt -pins 200 -ilp            # LR and exact ILP side by side
 //	pinopt -circuit ecc              # per-panel LR over a full circuit
+//	pinopt -load edited.cprd -baseline original.cprd  # panel reuse across revisions
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"cpr/internal/assign"
+	"cpr/internal/cache"
 	"cpr/internal/cliutil"
 	"cpr/internal/core"
 	"cpr/internal/design"
@@ -22,6 +24,7 @@ import (
 	"cpr/internal/lagrange"
 	"cpr/internal/parallel"
 	"cpr/internal/pinaccess"
+	"cpr/internal/pipeline"
 	"cpr/internal/synth"
 )
 
@@ -35,11 +38,17 @@ func main() {
 		ub         = flag.Int("ub", 200, "LR iteration upper bound")
 		alpha      = flag.Float64("alpha", 0.95, "LR subgradient step exponent")
 		workers    = cliutil.Workers()
+		loadPath   = flag.String("load", "", "load the design from a cpr-design file (per-panel optimization)")
+		baseline   = cliutil.Baseline()
 	)
 	flag.Parse()
 
-	if *circuit != "" {
-		runCircuit(*circuit, *workers)
+	if *circuit != "" || *loadPath != "" {
+		d, err := loadOrSynth(*circuit, *loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		runDesign(d, *workers, *baseline)
 		return
 	}
 
@@ -78,21 +87,45 @@ func main() {
 	}
 }
 
-func runCircuit(name string, workers int) {
-	spec, err := synth.SpecByName(name)
+// loadOrSynth materializes the design named by exactly one of -circuit
+// or -load.
+func loadOrSynth(circuit, loadPath string) (*design.Design, error) {
+	if circuit != "" && loadPath != "" {
+		return nil, fmt.Errorf("-circuit and -load are mutually exclusive")
+	}
+	if loadPath != "" {
+		return cliutil.ReadDesign(loadPath)
+	}
+	spec, err := synth.SpecByName(circuit)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Generate(spec)
+}
+
+// runDesign runs per-panel optimization over a full design. With a
+// baseline, that revision is optimized first into a shared panel cache,
+// so the main run reuses every panel the edit between the two revisions
+// cannot have affected; the reuse counts are reported.
+func runDesign(d *design.Design, workers int, baseline string) {
+	opts := core.Options{Workers: workers}
+	if baseline != "" {
+		base, err := cliutil.ReadDesign(baseline)
+		if err != nil {
+			fatal(err)
+		}
+		pc := cache.New[*pipeline.PanelArtifact](0)
+		opts.PanelCache = pc
+		if _, _, err := core.OptimizePinAccess(base, opts); err != nil {
+			fatal(fmt.Errorf("baseline run: %w", err))
+		}
+	}
+	rep, _, err := core.OptimizePinAccess(d, opts)
 	if err != nil {
 		fatal(err)
 	}
-	d, err := synth.Generate(spec)
-	if err != nil {
-		fatal(err)
-	}
-	rep, _, err := core.OptimizePinAccess(d, core.Options{Workers: workers})
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("circuit %s: %d panels, %d pins, %d intervals, %d conflict sets\n",
-		name, len(rep.Panels), rep.TotalPins, rep.TotalIntervals, rep.TotalConflicts)
+	fmt.Printf("design %s: %d panels, %d pins, %d intervals, %d conflict sets\n",
+		d.Name, len(rep.Panels), rep.TotalPins, rep.TotalIntervals, rep.TotalConflicts)
 	fmt.Printf("objective %.1f in %v\n", rep.Objective, rep.Elapsed)
 	converged := 0
 	for _, p := range rep.Panels {
@@ -101,6 +134,11 @@ func runCircuit(name string, workers int) {
 		}
 	}
 	fmt.Printf("panels converged without refinement: %d/%d\n", converged, len(rep.Panels))
+	if pc, ok := opts.PanelCache.(*cache.Cache[*pipeline.PanelArtifact]); ok && pc != nil {
+		st := pc.Stats()
+		fmt.Printf("panel cache: %d hits, %d misses (reused %d/%d panels of the main run)\n",
+			st.Hits, st.Misses, st.Hits, len(rep.Panels))
+	}
 }
 
 func buildModel(d *design.Design, workers int) (*assign.Model, error) {

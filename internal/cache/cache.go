@@ -1,10 +1,17 @@
 // Package cache is the content-addressed result cache behind the cprd
-// daemon: completed optimization results are stored under the SHA-256 of
-// the design's canonical encoding combined with a normalized options
-// fingerprint, so resubmitting an identical design never re-runs the
-// optimizer.
+// daemon. It is two-level:
 //
-// The cache is an in-memory LRU bounded by entry count, safe for
+//   - the design level stores completed optimization results under the
+//     SHA-256 of the design's canonical encoding combined with a
+//     normalized options fingerprint, so resubmitting an identical
+//     design never re-runs the optimizer;
+//   - the panel level stores per-panel pipeline artifacts under the
+//     SHA-256 of one panel's canonical input encoding (see
+//     pipeline.WritePanelInputs) combined with the solver fingerprint,
+//     so an edited design that misses the design level still reuses
+//     every panel the edit provably cannot affect.
+//
+// Both levels are in-memory LRUs bounded by entry count, safe for
 // concurrent use, with hit/miss/eviction counters cheap enough to read on
 // every /v1/stats request.
 package cache
@@ -26,6 +33,20 @@ func Key(designHash, optionsFingerprint string) string {
 	h.Write([]byte(designHash))
 	h.Write([]byte{'\n'})
 	h.Write([]byte(optionsFingerprint))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PanelKey derives the content address for one panel's pipeline
+// artifacts: the hex SHA-256 over a domain-separation tag, the panel's
+// canonical input hash, and the solver fingerprint. The "panel\n" tag
+// keeps the panel keyspace disjoint from design-level keys even if the
+// two hash inputs ever collide in content.
+func PanelKey(panelHash, solverFingerprint string) string {
+	h := sha256.New()
+	h.Write([]byte("panel\n"))
+	h.Write([]byte(panelHash))
+	h.Write([]byte{'\n'})
+	h.Write([]byte(solverFingerprint))
 	return hex.EncodeToString(h.Sum(nil))
 }
 

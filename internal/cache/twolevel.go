@@ -1,0 +1,37 @@
+package cache
+
+// TwoLevel couples the whole-design result cache with the per-panel
+// artifact cache. The two levels are independent LRUs: a design-level
+// hit answers a resubmission without touching the optimizer at all,
+// while a design-level miss still harvests panel-level hits for every
+// panel whose content key is unchanged (the incremental / ECO path).
+type TwoLevel[D, P any] struct {
+	// Design is the whole-design result level, keyed by Key.
+	Design *Cache[D]
+	// Panel is the per-panel artifact level, keyed by PanelKey.
+	Panel *Cache[P]
+}
+
+// NewTwoLevel creates both levels. Capacities <= 0 select the default of
+// 1024 entries per level; a panel cache typically wants a multiple of
+// the design capacity (one design contributes many panels).
+func NewTwoLevel[D, P any](designCap, panelCap int) *TwoLevel[D, P] {
+	return &TwoLevel[D, P]{
+		Design: New[D](designCap),
+		Panel:  New[P](panelCap),
+	}
+}
+
+// TwoLevelStats snapshots both levels' counters.
+type TwoLevelStats struct {
+	Design Stats `json:"design"`
+	Panel  Stats `json:"panel"`
+}
+
+// Stats snapshots both levels.
+func (t *TwoLevel[D, P]) Stats() TwoLevelStats {
+	return TwoLevelStats{
+		Design: t.Design.Stats(),
+		Panel:  t.Panel.Stats(),
+	}
+}

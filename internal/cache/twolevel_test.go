@@ -1,0 +1,91 @@
+package cache
+
+import "testing"
+
+// TestTwoLevelIndependentAccounting: the design and panel levels keep
+// separate hit/miss/eviction counters and separate LRU state — traffic
+// on one level must never show up in the other's stats.
+func TestTwoLevelIndependentAccounting(t *testing.T) {
+	tl := NewTwoLevel[string, int](4, 2)
+
+	tl.Design.Put("d1", "result-1")
+	if _, ok := tl.Design.Get("d1"); !ok {
+		t.Fatal("design-level hit missing")
+	}
+	if _, ok := tl.Design.Get("d2"); ok {
+		t.Fatal("phantom design-level hit")
+	}
+
+	// Panel level: two hits, one miss, and one eviction (capacity 2).
+	tl.Panel.Put("p1", 1)
+	tl.Panel.Put("p2", 2)
+	if _, ok := tl.Panel.Get("p1"); !ok {
+		t.Fatal("panel-level hit missing")
+	}
+	if _, ok := tl.Panel.Get("p2"); !ok {
+		t.Fatal("panel-level hit missing")
+	}
+	if _, ok := tl.Panel.Get("p3"); ok {
+		t.Fatal("phantom panel-level hit")
+	}
+	tl.Panel.Put("p3", 3) // evicts p1 (LRU after the p1, p2 touches)
+
+	st := tl.Stats()
+	if st.Design.Hits != 1 || st.Design.Misses != 1 || st.Design.Evictions != 0 || st.Design.Entries != 1 {
+		t.Errorf("design stats = %+v, want 1 hit / 1 miss / 0 evictions / 1 entry", st.Design)
+	}
+	if st.Panel.Hits != 2 || st.Panel.Misses != 1 || st.Panel.Evictions != 1 || st.Panel.Entries != 2 {
+		t.Errorf("panel stats = %+v, want 2 hits / 1 miss / 1 eviction / 2 entries", st.Panel)
+	}
+
+	// The eviction chose the least recently used panel entry.
+	if _, ok := tl.Panel.Get("p1"); ok {
+		t.Error("p1 survived eviction; LRU order broken")
+	}
+	if _, ok := tl.Panel.Get("p2"); !ok {
+		t.Error("p2 evicted out of LRU order")
+	}
+	if got := st.Panel.HitRate(); got != 2.0/3.0 {
+		t.Errorf("panel hit rate = %v, want 2/3", got)
+	}
+}
+
+// TestTwoLevelDefaultCapacities: non-positive capacities take the cache
+// package default rather than creating an unbounded or zero-size level.
+func TestTwoLevelDefaultCapacities(t *testing.T) {
+	tl := NewTwoLevel[int, int](0, -1)
+	for i := 0; i < 1030; i++ {
+		tl.Panel.Put(string(rune('a'+i%26))+string(rune('0'+i/26%10))+string(rune('A'+i/260)), i)
+	}
+	if n := tl.Panel.Len(); n > 1024 {
+		t.Errorf("panel level grew to %d entries; default capacity not applied", n)
+	}
+	tl.Design.Put("k", 1)
+	if tl.Design.Len() != 1 {
+		t.Error("design level rejected an entry")
+	}
+}
+
+// TestContainsDoesNotTouchCounters: Contains is the re-warm probe used
+// by jobs.SubmitBase; it must not distort the hit/miss accounting that
+// /v1/stats reports.
+func TestContainsDoesNotTouchCounters(t *testing.T) {
+	c := New[int](4)
+	c.Put("k", 1)
+	if !c.Contains("k") || c.Contains("missing") {
+		t.Fatal("Contains gave wrong answers")
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("Contains touched counters: %+v", st)
+	}
+	// Contains must not promote: k becomes LRU after newer entries.
+	c.Put("a", 2)
+	c.Put("b", 3)
+	c.Put("c", 4)
+	c.Contains("k")
+	c.Put("d", 5) // evicts k
+	if c.Contains("k") {
+		t.Error("Contains promoted k in LRU order")
+	}
+}

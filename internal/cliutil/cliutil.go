@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"cpr/internal/core"
+	"cpr/internal/design"
+	"cpr/internal/designio"
 )
 
 // AllCircuits is the canonical -circuits default covering every Table 2
@@ -79,6 +81,27 @@ func ParseOptimizer(s string) (core.Optimizer, error) {
 	default:
 		return 0, fmt.Errorf("unknown -optimizer %q (want lr, ilp)", s)
 	}
+}
+
+// Baseline registers the canonical -baseline flag: a cpr-design file of
+// a previous design revision to rerun against incrementally.
+func Baseline() *string {
+	return flag.String("baseline", "",
+		"cpr-design file of a previous revision; it is optimized first and the main design is rerun incrementally against it (identical results, only dirtied panels recomputed)")
+}
+
+// ReadDesign loads a cpr-design file.
+func ReadDesign(path string) (*design.Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := designio.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
 }
 
 // Fatal prints a tool-prefixed error and exits 1.

@@ -4,6 +4,16 @@
 // Lagrangian relaxation), interval seeding as partial routes, and
 // negotiation-congestion routing with SADP line-end rules.
 //
+// The optimization half is expressed as explicit per-panel stages over
+// internal/pipeline artifacts, each content-addressed by a per-panel key.
+// That staging is what enables incremental (ECO-style) re-optimization:
+// Rerun diffs the panel keys of an edited design against a previous
+// result and recomputes only the dirtied panels, and Options.PanelCache
+// lets a long-running service harvest the same reuse across independent
+// submissions. Both paths keep the hard invariant that a spliced run is
+// byte-identical to a cold full run of the edited design, for every
+// worker count.
+//
 // It also runs the paper's two baselines on the same substrate: the
 // negotiation router without pin access optimization ([21]) and the
 // sequential pin-access-planning router ([12]).
@@ -22,6 +32,7 @@ import (
 	"cpr/internal/metrics"
 	"cpr/internal/parallel"
 	"cpr/internal/pinaccess"
+	"cpr/internal/pipeline"
 	"cpr/internal/router"
 )
 
@@ -68,6 +79,16 @@ func (o Optimizer) String() string {
 	return "lr"
 }
 
+// PanelCache is a panel-level artifact store the optimization pipeline
+// consults before solving a panel and updates after. Entries are
+// content-addressed (pipeline.PanelKeyFor), so a cache can never change
+// a result — only skip recomputation. A *cache.Cache[*pipeline.PanelArtifact]
+// satisfies the interface.
+type PanelCache interface {
+	Get(key string) (*pipeline.PanelArtifact, bool)
+	Put(key string, a *pipeline.PanelArtifact)
+}
+
 // Options configures a run. Zero values give the paper's defaults
 // (ModeCPR with LR optimization).
 type Options struct {
@@ -79,7 +100,10 @@ type Options struct {
 	Sequential router.SequentialConfig
 	// Profit is the interval profit function (default assign.SqrtProfit).
 	// With more than one worker it must be safe for concurrent calls (the
-	// built-in profit functions are pure).
+	// built-in profit functions are pure). A custom function makes panel
+	// artifacts uncacheable (function identity cannot be
+	// content-addressed), so Rerun and PanelCache degrade to full
+	// recomputation.
 	Profit assign.ProfitFn
 	// Workers bounds the concurrency of the whole optimization pipeline:
 	// panel subproblems run on a shared pool, and spare capacity flows
@@ -96,6 +120,12 @@ type Options struct {
 	// Deprecated: set Workers instead. Parallelism is honoured only when
 	// Workers is zero.
 	Parallelism int
+	// PanelCache, when non-nil, is consulted for per-panel artifacts
+	// before each panel is solved and updated with recomputed ones.
+	// Content addressing makes it invisible in results (it never affects
+	// bytes, only wall clock), so it is excluded from cache-key
+	// fingerprints, like Workers.
+	PanelCache PanelCache
 }
 
 // workers resolves the effective worker count for a run.
@@ -107,6 +137,41 @@ func (o Options) workers() int {
 		return parallel.Resolve(o.Parallelism)
 	}
 	return parallel.Resolve(0)
+}
+
+// solverConfig maps the pin-opt-affecting options onto the pipeline's
+// solver configuration.
+func solverConfig(o Options) pipeline.SolverConfig {
+	return pipeline.SolverConfig{
+		UseILP: o.Optimizer == OptILP,
+		ILP:    o.ILP,
+		LR:     o.LR,
+		Profit: o.Profit,
+	}
+}
+
+// panelWorkerSplit divides the worker budget between the panel shard
+// (outer) and each panel's internal stages (inner) so total concurrency
+// never exceeds the budget: outer <= min(workers, panels) and
+// outer*inner <= workers. The previous ceil-based split could run up to
+// panels*ceil(workers/panels) > workers goroutines when
+// 1 < panels < workers.
+func panelWorkerSplit(workers, panels int) (outer, inner int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if panels < 1 {
+		return 0, 1
+	}
+	outer = workers
+	if outer > panels {
+		outer = panels
+	}
+	inner = workers / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
 }
 
 // PanelReport records pin access optimization results for one panel.
@@ -130,12 +195,32 @@ type PinOptReport struct {
 	Elapsed        time.Duration
 }
 
+// IncrementalStats reports how much of a run was spliced from reuse. It
+// is provenance, not result: two runs that differ only in these fields
+// (and wall-clock ones) are byte-identical in every output.
+type IncrementalStats struct {
+	// Panels is the number of non-empty panels in the run.
+	Panels int
+	// Reused is the number of panels spliced from a previous result's
+	// artifacts or the panel cache.
+	Reused int
+	// Recomputed lists the recomputed (dirty) panel indices, ascending.
+	Recomputed []int
+}
+
 // RunResult is the complete outcome of a flow run.
 type RunResult struct {
 	Mode    Mode
 	PinOpt  *PinOptReport // nil for baseline modes
 	Router  *router.Result
 	Metrics metrics.Routing
+	// Artifacts retains the per-panel pipeline artifacts of a cacheable
+	// ModeCPR run, so the result can serve as the baseline of a Rerun.
+	// Nil for baseline modes and uncacheable configurations.
+	Artifacts *pipeline.ArtifactSet
+	// Incremental is set when a reuse source (a Rerun baseline or a
+	// PanelCache) was available to the run; nil on plain cold runs.
+	Incremental *IncrementalStats
 }
 
 // Run executes the selected flow on a validated design. It is the
@@ -151,14 +236,47 @@ func Run(d *design.Design, opts Options) (*RunResult, error) {
 // returns an error wrapping ctx.Err(). A context that never fires
 // leaves the computation byte-identical to Run.
 func RunContext(ctx context.Context, d *design.Design, opts Options) (*RunResult, error) {
+	return runFlow(ctx, d, opts, nil)
+}
+
+// Rerun is the incremental (ECO) entry point: it re-optimizes an edited
+// design against a previous run's result, recomputing only the panels
+// whose content keys changed and splicing the previous artifacts for the
+// rest. Dirtying is conservative and correctness-first — a panel is
+// recomputed whenever any input that can affect it changed: its own
+// pins, the merged M2 blockage spans on its tracks, the bounding box of
+// any net it touches (so an edit in one panel dirties every panel that
+// net reaches), the grid, the technology, or the solver options.
+//
+// The hard invariant: the returned result is byte-identical — designio
+// encoding, routes, reports, metrics (wall-clock fields aside) — to a
+// cold RunContext of the edited design, for every worker count. When
+// nothing is reusable (nil prev, baseline modes, changed solver options,
+// uncacheable configurations) Rerun degrades to exactly that cold run.
+func Rerun(prev *RunResult, edited *design.Design, opts Options) (*RunResult, error) {
+	return RerunContext(context.Background(), prev, edited, opts)
+}
+
+// RerunContext is Rerun with cancellation (see RunContext).
+func RerunContext(ctx context.Context, prev *RunResult, edited *design.Design, opts Options) (*RunResult, error) {
+	var prevArts map[string]*pipeline.PanelArtifact
+	if prev != nil && prev.Artifacts != nil && opts.Mode == ModeCPR {
+		cfg := solverConfig(opts)
+		if cfg.Cacheable() && prev.Artifacts.Fingerprint == cfg.Fingerprint() {
+			prevArts = prev.Artifacts.ByKey()
+		}
+	}
+	return runFlow(ctx, edited, opts, prevArts)
+}
+
+// runFlow executes the selected flow, optionally splicing per-panel
+// artifacts from a previous run (prevArts keyed by panel content key).
+func runFlow(ctx context.Context, d *design.Design, opts Options, prevArts map[string]*pipeline.PanelArtifact) (*RunResult, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
-	}
-	if opts.Profit == nil {
-		opts.Profit = assign.SqrtProfit
 	}
 	g := grid.New(d)
 	r := router.New(d, g, opts.Router)
@@ -166,11 +284,13 @@ func RunContext(ctx context.Context, d *design.Design, opts Options) (*RunResult
 
 	switch opts.Mode {
 	case ModeCPR:
-		report, seeds, err := OptimizePinAccessContext(ctx, d, opts)
+		report, seeds, arts, inc, err := optimizePanels(ctx, d, opts, prevArts)
 		if err != nil {
 			return nil, err
 		}
 		res.PinOpt = report
+		res.Artifacts = arts
+		res.Incremental = inc
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -217,11 +337,21 @@ func OptimizePinAccess(d *design.Design, opts Options) (*PinOptReport, []PanelSe
 // subgradient iterations inside each panel, so a canceled run abandons
 // remaining work and reports an error wrapping ctx.Err().
 func OptimizePinAccessContext(ctx context.Context, d *design.Design, opts Options) (*PinOptReport, []PanelSeed, error) {
-	if opts.Profit == nil {
-		opts.Profit = assign.SqrtProfit
-	}
+	report, seeds, _, _, err := optimizePanels(ctx, d, opts, nil)
+	return report, seeds, err
+}
+
+// optimizePanels runs the staged pipeline (generate → conflicts →
+// assign) over every non-empty panel. Reuse sources, in lookup order:
+// opts.PanelCache (so its counters account for every reused panel) and
+// the previous run's artifacts (prevArts). The ordered per-slot reduce
+// keeps report and seed order byte-identical for every worker count and
+// any mix of reused and recomputed panels.
+func optimizePanels(ctx context.Context, d *design.Design, opts Options, prevArts map[string]*pipeline.PanelArtifact) (*PinOptReport, []PanelSeed, *pipeline.ArtifactSet, *IncrementalStats, error) {
 	start := time.Now() //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
 	idx := d.BuildTrackIndex()
+	cfg := solverConfig(opts)
+	cacheable := cfg.Cacheable()
 
 	var panels []int
 	for panel := 0; panel < d.NumPanels(); panel++ {
@@ -231,100 +361,101 @@ func OptimizePinAccessContext(ctx context.Context, d *design.Design, opts Option
 	}
 
 	// Panels are the outer shard; when there are fewer panels than
-	// workers (a single-panel sweep design, say), the spare capacity
-	// flows into each panel's per-track and per-conflict-set stages.
-	workers := opts.workers()
-	inner := 1
-	if len(panels) > 0 {
-		inner = (workers + len(panels) - 1) / len(panels)
-	}
+	// workers, the leftover budget flows into each panel's per-track and
+	// per-conflict-set stages, capped so total concurrency never exceeds
+	// the worker budget.
+	outer, inner := panelWorkerSplit(opts.workers(), len(panels))
 
-	type panelResult struct {
-		report PanelReport
-		seed   PanelSeed
+	type outcome struct {
+		art    *pipeline.PanelArtifact
+		reused bool
 		err    error
 	}
-	results := make([]panelResult, len(panels))
+	results := make([]outcome, len(panels))
 	solve := func(slot, panel int) {
 		if err := ctx.Err(); err != nil {
 			results[slot].err = fmt.Errorf("core: panel %d: %w", panel, err)
 			return
 		}
-		pins := d.PinsInPanel(panel)
-		set, err := pinaccess.GenerateWithOptions(d, idx, pins, pinaccess.Options{Workers: inner})
+		var key string
+		if cacheable {
+			key = pipeline.PanelKeyFor(d, idx, panel, cfg)
+			// The cache is consulted before the previous run's artifacts
+			// so its hit counters account for every reused panel (the
+			// daemon's panel-level hit rate); equal keys address identical
+			// artifacts, so the lookup order cannot affect results.
+			if opts.PanelCache != nil {
+				if art, ok := opts.PanelCache.Get(key); ok {
+					results[slot] = outcome{art: art, reused: true}
+					return
+				}
+			}
+			if art, ok := prevArts[key]; ok {
+				results[slot] = outcome{art: art, reused: true}
+				if opts.PanelCache != nil {
+					opts.PanelCache.Put(key, art)
+				}
+				return
+			}
+		}
+		art, err := pipeline.SolvePanel(ctx, d, idx, panel, d.PinsInPanel(panel), cfg, inner)
 		if err != nil {
 			results[slot].err = fmt.Errorf("core: panel %d: %w", panel, err)
 			return
 		}
-		model := assign.BuildWorkers(set, opts.Profit, inner)
-		sol, converged, err := solvePanel(ctx, model, opts, inner)
-		if err != nil {
-			results[slot].err = fmt.Errorf("core: panel %d: %w", panel, err)
-			return
+		if cacheable && opts.PanelCache != nil {
+			opts.PanelCache.Put(key, art)
 		}
-		if err := model.CheckLegal(sol); err != nil {
-			results[slot].err = fmt.Errorf("core: panel %d produced illegal assignment: %w", panel, err)
-			return
-		}
-		results[slot] = panelResult{
-			report: PanelReport{
-				Panel:      panel,
-				Pins:       len(pins),
-				Intervals:  model.NumIntervals(),
-				Conflicts:  len(model.Conflicts.Sets),
-				Objective:  sol.Objective,
-				Violations: sol.Violations,
-				Converged:  converged,
-			},
-			seed: PanelSeed{Set: set, Solution: sol},
-		}
+		results[slot] = outcome{art: art}
 	}
 
 	// Per-slot writes plus the ordered reduce below keep the report and
 	// seed order byte-identical for every worker count.
-	parallel.ForEach(workers, len(panels), func(slot int) {
+	parallel.ForEach(outer, len(panels), func(slot int) {
 		solve(slot, panels[slot])
 	})
 
 	report := &PinOptReport{}
 	var seeds []PanelSeed
-	for _, pr := range results {
-		if pr.err != nil {
-			return nil, nil, pr.err
+	var arts *pipeline.ArtifactSet
+	if cacheable {
+		arts = &pipeline.ArtifactSet{Fingerprint: cfg.Fingerprint()}
+	}
+	var inc *IncrementalStats
+	if prevArts != nil || opts.PanelCache != nil {
+		inc = &IncrementalStats{Panels: len(panels)}
+	}
+	for slot, oc := range results {
+		if oc.err != nil {
+			return nil, nil, nil, nil, oc.err
 		}
-		report.Panels = append(report.Panels, pr.report)
-		report.TotalPins += pr.report.Pins
-		report.TotalIntervals += pr.report.Intervals
-		report.TotalConflicts += pr.report.Conflicts
-		report.Objective += pr.report.Objective
-		seeds = append(seeds, pr.seed)
+		art := oc.art
+		pr := PanelReport{
+			Panel:      art.Panel,
+			Pins:       len(art.Intervals.Set.PinIDs),
+			Intervals:  len(art.Intervals.Set.Intervals),
+			Conflicts:  art.NumConflicts,
+			Objective:  art.Assignment.Solution.Objective,
+			Violations: art.Assignment.Solution.Violations,
+			Converged:  art.Assignment.Converged,
+		}
+		report.Panels = append(report.Panels, pr)
+		report.TotalPins += pr.Pins
+		report.TotalIntervals += pr.Intervals
+		report.TotalConflicts += pr.Conflicts
+		report.Objective += pr.Objective
+		seeds = append(seeds, PanelSeed{Set: art.Intervals.Set, Solution: art.Assignment.Solution})
+		if arts != nil {
+			arts.Panels = append(arts.Panels, art)
+		}
+		if inc != nil {
+			if oc.reused {
+				inc.Reused++
+			} else {
+				inc.Recomputed = append(inc.Recomputed, panels[slot])
+			}
+		}
 	}
 	report.Elapsed = time.Since(start) //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
-	return report, seeds, nil
-}
-
-// solvePanel dispatches to the configured optimizer. An ILP run that hits
-// its limits falls back to the LR solution, mirroring how a production
-// flow would degrade. workers bounds the LR solver's per-iteration
-// concurrency unless the caller pinned it explicitly in opts.LR.
-func solvePanel(ctx context.Context, model *assign.Model, opts Options, workers int) (*assign.Solution, bool, error) {
-	if opts.Optimizer == OptILP {
-		sol, res, err := model.SolveILP(opts.ILP)
-		if err == nil {
-			return sol, res.Status == ilp.Optimal, nil
-		}
-		// Fall through to LR on solver limits.
-	}
-	lrCfg := opts.LR
-	if lrCfg.Workers == 0 {
-		lrCfg.Workers = workers
-	}
-	if lrCfg.Stop == nil && ctx.Done() != nil {
-		lrCfg.Stop = func() bool { return ctx.Err() != nil }
-	}
-	res := lagrange.Solve(model, lrCfg)
-	if err := ctx.Err(); err != nil {
-		return nil, false, err
-	}
-	return res.Solution, res.Converged, nil
+	return report, seeds, arts, inc, nil
 }

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cpr/internal/cache"
+	"cpr/internal/design"
+	"cpr/internal/designio"
+	"cpr/internal/geom"
+	"cpr/internal/lagrange"
+	"cpr/internal/pipeline"
+	"cpr/internal/synth"
+	"cpr/internal/tech"
+)
+
+// dumpRunResult serializes everything observable about a run — the
+// design bytes, the pin-opt report, every route, and the metrics — with
+// the wall-clock fields (Elapsed, CPUSeconds) and the provenance-only
+// Incremental field excluded. Byte equality of dumps is the incremental
+// invariant: Rerun must be indistinguishable from a cold run.
+func dumpRunResult(t *testing.T, d *design.Design, res *RunResult) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := designio.Write(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if res.PinOpt != nil {
+		fmt.Fprintf(&b, "pinopt %+v\n", reportFingerprint(res.PinOpt))
+	}
+	r := res.Router
+	fmt.Fprintf(&b, "routed=%d vias=%d wl=%d initcong=%d iters=%d congunrouted=%d drcunrouted=%d\n",
+		r.RoutedNets, r.Vias, r.Wirelength, r.InitialCongested,
+		r.NegotiationIters, r.CongestionUnrouted, r.DRCUnrouted)
+	for netID, nr := range r.Routes {
+		if nr == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "net %d routed=%v fail=%q nodes %v edges %v virtual %v\n",
+			netID, nr.Routed, nr.FailReason, nr.Nodes, nr.Edges, nr.Virtual)
+	}
+	m := res.Metrics
+	m.CPUSeconds = 0
+	fmt.Fprintf(&b, "metrics %+v\n", m)
+	return b.Bytes()
+}
+
+// rebuild reconstructs a design from an edited pin and blockage list,
+// renumbering pin IDs and net membership the way a fresh ECO netlist
+// would. Nets that lost their last pin are dropped.
+func rebuild(t *testing.T, d *design.Design, pins []design.Pin, blockages []design.Blockage) *design.Design {
+	t.Helper()
+	nd := design.New(d.Name, d.Width, d.Height, d.Tech)
+	netMap := make(map[int]int)
+	for _, p := range pins {
+		nid, ok := netMap[p.NetID]
+		if !ok {
+			nid = nd.AddNet(d.Nets[p.NetID].Name)
+			netMap[p.NetID] = nid
+		}
+		nd.AddPin(p.Name, nid, p.Shape)
+	}
+	nd.Blockages = append([]design.Blockage(nil), blockages...)
+	return nd
+}
+
+// editDesign applies one random validity-preserving edit: move a pin,
+// delete a pin, add a pin, or toggle a blockage. It retries until the
+// edited design validates.
+func editDesign(t *testing.T, d *design.Design, rng *rand.Rand) *design.Design {
+	t.Helper()
+	for attempt := 0; attempt < 200; attempt++ {
+		pins := append([]design.Pin(nil), d.Pins...)
+		blockages := append([]design.Blockage(nil), d.Blockages...)
+		switch rng.Intn(4) {
+		case 0: // move a pin in x
+			if len(pins) == 0 {
+				continue
+			}
+			p := &pins[rng.Intn(len(pins))]
+			dx := 1 + rng.Intn(3)
+			if rng.Intn(2) == 0 {
+				dx = -dx
+			}
+			p.Shape = geom.MakeRect(p.Shape.X0+dx, p.Shape.Y0, p.Shape.X1+dx, p.Shape.Y1)
+		case 1: // delete a pin (keep its net non-empty)
+			if len(pins) == 0 {
+				continue
+			}
+			i := rng.Intn(len(pins))
+			victim := pins[i]
+			siblings := 0
+			for _, p := range pins {
+				if p.NetID == victim.NetID {
+					siblings++
+				}
+			}
+			if siblings < 3 {
+				continue // keep the net routable (>= 2 pins)
+			}
+			pins = append(pins[:i], pins[i+1:]...)
+		case 2: // add a pin to an existing net
+			if len(d.Nets) == 0 {
+				continue
+			}
+			net := rng.Intn(len(d.Nets))
+			x, y := rng.Intn(d.Width), rng.Intn(d.Height)
+			pins = append(pins, design.Pin{
+				Name:  fmt.Sprintf("eco_%d_%d", attempt, len(pins)),
+				NetID: net,
+				Shape: geom.MakeRect(x, y, x, y),
+			})
+		default: // toggle a blockage
+			if len(blockages) > 0 && rng.Intn(2) == 0 {
+				i := rng.Intn(len(blockages))
+				blockages = append(blockages[:i], blockages[i+1:]...)
+			} else {
+				x, y := rng.Intn(d.Width-3), rng.Intn(d.Height)
+				blockages = append(blockages, design.Blockage{
+					Layer: tech.M2,
+					Shape: geom.MakeRect(x, y, x+2, y),
+				})
+			}
+		}
+		nd := rebuild(t, d, pins, blockages)
+		if nd.Validate() == nil {
+			return nd
+		}
+	}
+	t.Fatal("could not produce a valid random edit in 200 attempts")
+	return nil
+}
+
+// TestRerunByteIdenticalRandomEdits is the incremental invariant as a
+// property test: over a sequence of random ECO edits (pin moves, adds,
+// deletes, blockage toggles), Rerun against the previous result must be
+// byte-identical to a cold run of the edited design, for every worker
+// count.
+func TestRerunByteIdenticalRandomEdits(t *testing.T) {
+	specs := []synth.Spec{
+		{Name: "eco-a", Nets: 120, Width: 140, Height: 60, Seed: 11},
+		{Name: "eco-b", Nets: 90, Width: 120, Height: 40, Seed: 22, BlockageFraction: 0.04},
+	}
+	const editsPerSpec = 4
+	for _, spec := range specs {
+		t.Run(spec.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(spec.Seed))
+			d := mustGenerate(t, spec)
+			prev, err := Run(d, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reusedTotal := 0
+			for step := 0; step < editsPerSpec; step++ {
+				d = editDesign(t, d, rng)
+				cold, err := Run(d, Options{})
+				if err != nil {
+					t.Fatalf("step %d: cold run: %v", step, err)
+				}
+				coldDump := dumpRunResult(t, d, cold)
+				for _, workers := range determinismWorkers {
+					inc, err := Rerun(prev, d, Options{Workers: workers})
+					if err != nil {
+						t.Fatalf("step %d workers=%d: rerun: %v", step, workers, err)
+					}
+					if inc.Incremental == nil {
+						t.Fatalf("step %d workers=%d: Rerun returned no incremental stats", step, workers)
+					}
+					if got := dumpRunResult(t, d, inc); !bytes.Equal(got, coldDump) {
+						t.Fatalf("step %d workers=%d: rerun output differs from cold run (reused %d/%d panels)",
+							step, workers, inc.Incremental.Reused, inc.Incremental.Panels)
+					}
+					reusedTotal += inc.Incremental.Reused
+				}
+				prev = cold
+			}
+			if reusedTotal == 0 {
+				t.Error("no panel was ever reused across the edit sequence; incremental path is inert")
+			}
+		})
+	}
+}
+
+// TestRerunRecomputesOnlyDirtyPanels pins down the reuse granularity on
+// a >= 16-panel design: after a single-pin move inside one panel, Rerun
+// must recompute only the panels reachable from that edit and the panel
+// cache must answer every other panel. The hit counters of the panel
+// cache are the assertion, per the two-level cache contract.
+func TestRerunRecomputesOnlyDirtyPanels(t *testing.T) {
+	spec := synth.Spec{Name: "eco-wide", Nets: 260, Width: 150, Height: 170, Seed: 33}
+	d := mustGenerate(t, spec)
+	if got := d.NumPanels(); got < 16 {
+		t.Fatalf("design has %d panels, want >= 16", got)
+	}
+
+	pc := cache.New[*pipeline.PanelArtifact](4096)
+	prev, err := Run(d, Options{PanelCache: pc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.Incremental == nil || prev.Incremental.Reused != 0 {
+		t.Fatalf("cold run reported reuse: %+v", prev.Incremental)
+	}
+	nonEmpty := prev.Incremental.Panels
+
+	// Move one pin by one site within its own panel.
+	pins := append([]design.Pin(nil), d.Pins...)
+	var edited *design.Design
+	var editedPanel int
+	rng := rand.New(rand.NewSource(7))
+	for attempt := 0; ; attempt++ {
+		if attempt >= 500 {
+			t.Fatal("could not find a movable pin")
+		}
+		i := rng.Intn(len(pins))
+		trial := append([]design.Pin(nil), pins...)
+		p := &trial[i]
+		p.Shape = geom.MakeRect(p.Shape.X0+1, p.Shape.Y0, p.Shape.X1+1, p.Shape.Y1)
+		nd := rebuild(t, d, trial, d.Blockages)
+		if nd.Validate() == nil {
+			edited = nd
+			editedPanel = d.Tech.PanelOfTrack(p.Shape.Y0)
+			break
+		}
+	}
+
+	before := pc.Stats()
+	res, err := Rerun(prev, edited, Options{PanelCache: pc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := res.Incremental
+	if inc == nil {
+		t.Fatal("no incremental stats")
+	}
+	// The edited pin dirties its own panel; because its net's bounding
+	// box may have moved, every panel that net touches is conservatively
+	// dirty too. A single-pin move must never dirty more than a handful
+	// of panels on a 17-panel design.
+	if len(inc.Recomputed) == 0 || len(inc.Recomputed) > 4 {
+		t.Fatalf("recomputed panels = %v, want 1..4 (edit in panel %d)", inc.Recomputed, editedPanel)
+	}
+	found := false
+	for _, p := range inc.Recomputed {
+		if p == editedPanel {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("recomputed %v does not include the edited panel %d", inc.Recomputed, editedPanel)
+	}
+	if inc.Reused+len(inc.Recomputed) != inc.Panels {
+		t.Errorf("reused %d + recomputed %d != panels %d", inc.Reused, len(inc.Recomputed), inc.Panels)
+	}
+	if inc.Reused < nonEmpty-4 {
+		t.Errorf("reused %d of %d panels, want at least %d", inc.Reused, inc.Panels, nonEmpty-4)
+	}
+	// Panel-cache accounting: the cache is consulted before the previous
+	// result's artifacts, so every reused panel is a cache hit and every
+	// recomputed panel a miss.
+	after := pc.Stats()
+	if hits := after.Hits - before.Hits; hits != int64(inc.Reused) {
+		t.Errorf("panel cache hits = %d, want %d (one per reused panel)", hits, inc.Reused)
+	}
+	if misses := after.Misses - before.Misses; misses != int64(len(inc.Recomputed)) {
+		t.Errorf("panel cache misses = %d, want %d (one per recomputed panel)", misses, len(inc.Recomputed))
+	}
+
+	// And the spliced result must still be byte-identical to cold.
+	cold, err := Run(edited, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dumpRunResult(t, edited, res), dumpRunResult(t, edited, cold)) {
+		t.Error("incremental result differs from cold run")
+	}
+
+	// A second rerun of the same edited design against the ORIGINAL
+	// result must now answer the recomputed panels from the panel cache:
+	// everything reused, nothing recomputed.
+	res2, err := Rerun(prev, edited, Options{PanelCache: pc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc2 := res2.Incremental; inc2 == nil || len(inc2.Recomputed) != 0 || inc2.Reused != inc.Panels {
+		t.Errorf("second rerun stats = %+v, want all %d panels reused", res2.Incremental, inc.Panels)
+	}
+}
+
+// TestRerunNeighborPanelDirtying covers the cross-panel input: a net
+// with pins in two panels couples them through the net bounding box, so
+// editing the net's pin in one panel must also recompute the neighbor
+// panel even though no shape there changed.
+func TestRerunNeighborPanelDirtying(t *testing.T) {
+	build := func(x0 int) *design.Design {
+		d := design.New("neighbor", 60, 30, tech.Default())
+		span := d.AddNet("span")
+		d.AddPin("span_a", span, geom.MakeRect(x0, 2, x0, 2))   // panel 0
+		d.AddPin("span_b", span, geom.MakeRect(40, 12, 40, 12)) // panel 1
+		local := d.AddNet("local")
+		d.AddPin("local_a", local, geom.MakeRect(10, 22, 10, 22)) // panel 2
+		d.AddPin("local_b", local, geom.MakeRect(20, 24, 20, 24)) // panel 2
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	base := build(8)
+	edited := build(5) // span net's panel-0 pin moved -> its bbox changed
+
+	prev, err := Run(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Rerun(prev, edited, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := res.Incremental
+	if inc == nil {
+		t.Fatal("no incremental stats")
+	}
+	want := map[int]bool{0: true, 1: true}
+	got := map[int]bool{}
+	for _, p := range inc.Recomputed {
+		got[p] = true
+	}
+	if !got[0] || !got[1] {
+		t.Errorf("recomputed %v, want panels 0 and 1 (bbox-coupled)", inc.Recomputed)
+	}
+	if got[2] {
+		t.Errorf("panel 2 recomputed despite being untouched: %v", inc.Recomputed)
+	}
+	for p := range got {
+		if !want[p] && p != 2 {
+			t.Errorf("unexpected recomputed panel %d", p)
+		}
+	}
+
+	cold, err := Run(edited, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dumpRunResult(t, edited, res), dumpRunResult(t, edited, cold)) {
+		t.Error("incremental result differs from cold run")
+	}
+}
+
+// TestRerunFallsBackOnOptionChanges: changing a result-affecting solver
+// option invalidates every panel (fingerprint mismatch), so Rerun
+// degrades to a full cold run rather than splicing stale artifacts.
+func TestRerunFallsBackOnOptionChanges(t *testing.T) {
+	d := mustGenerate(t, synth.Spec{Name: "eco-opt", Nets: 60, Width: 100, Height: 40, Seed: 44})
+	prev, err := Run(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Rerun(prev, d, Options{LR: lagrange.Config{MaxIterations: 400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc := res.Incremental; inc != nil && inc.Reused != 0 {
+		t.Errorf("reused %d panels across a solver-option change", inc.Reused)
+	}
+	cold, err := Run(d, Options{LR: lagrange.Config{MaxIterations: 400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dumpRunResult(t, d, res), dumpRunResult(t, d, cold)) {
+		t.Error("fallback rerun differs from cold run")
+	}
+}
+
+// TestPanelWorkerSplit is the regression test for worker
+// oversubscription: the outer (panel) and inner (per-stage) splits must
+// never multiply out beyond the worker budget. The previous
+// ceil(workers/panels) inner could reach panels*inner > workers whenever
+// 1 < panels < workers (e.g. 3 panels x ceil(8/3)=3 -> 9 goroutines on
+// a budget of 8).
+func TestPanelWorkerSplit(t *testing.T) {
+	for workers := 1; workers <= 24; workers++ {
+		for panels := 0; panels <= 30; panels++ {
+			outer, inner := panelWorkerSplit(workers, panels)
+			if panels == 0 {
+				if outer != 0 {
+					t.Fatalf("workers=%d panels=0: outer=%d, want 0", workers, outer)
+				}
+				continue
+			}
+			if outer < 1 || inner < 1 {
+				t.Fatalf("workers=%d panels=%d: outer=%d inner=%d, want >= 1", workers, panels, outer, inner)
+			}
+			if outer > panels {
+				t.Fatalf("workers=%d panels=%d: outer=%d exceeds panel count", workers, panels, outer)
+			}
+			if outer*inner > workers {
+				t.Fatalf("workers=%d panels=%d: outer*inner=%d oversubscribes the budget",
+					workers, panels, outer*inner)
+			}
+		}
+	}
+	// The paper-motivated shape: many workers, few panels. All budget
+	// should reach the panels' inner stages without oversubscribing.
+	if outer, inner := panelWorkerSplit(8, 3); outer != 3 || inner != 2 {
+		t.Errorf("split(8,3) = (%d,%d), want (3,2)", outer, inner)
+	}
+	if outer, inner := panelWorkerSplit(8, 20); outer != 8 || inner != 1 {
+		t.Errorf("split(8,20) = (%d,%d), want (8,1)", outer, inner)
+	}
+	if outer, inner := panelWorkerSplit(1, 5); outer != 1 || inner != 1 {
+		t.Errorf("split(1,5) = (%d,%d), want (1,1)", outer, inner)
+	}
+}

@@ -20,6 +20,12 @@ type SubmitRequest struct {
 	// Options tunes the optimization flow; nil takes the defaults
 	// (ModeCPR with LR optimization).
 	Options *Options `json:"options,omitempty"`
+	// BaseJob names a finished job to rerun against incrementally: only
+	// the panels the edit dirtied are recomputed, the rest are spliced
+	// from the base's artifacts. The result is byte-identical to a cold
+	// run of the same design, so the baseline affects wall clock only.
+	// An unknown or unfinished base job is a 400.
+	BaseJob string `json:"base_job,omitempty"`
 	// Wait blocks the request until the job is terminal (bounded by the
 	// server's job timeout and the client's request context) and
 	// returns the finished job.
@@ -68,11 +74,21 @@ type PinOptSummary struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
+// IncrementalSummary reports how much of a run was spliced from reuse
+// (a base job's artifacts or the panel cache). Provenance only: results
+// are byte-identical however much was reused.
+type IncrementalSummary struct {
+	Panels     int   `json:"panels"`
+	Reused     int   `json:"reused"`
+	Recomputed []int `json:"recomputed,omitempty"`
+}
+
 // Result is the completed-run payload inside a Job.
 type Result struct {
-	Mode    string          `json:"mode"`
-	Metrics metrics.Routing `json:"metrics"`
-	PinOpt  *PinOptSummary  `json:"pinopt,omitempty"`
+	Mode        string              `json:"mode"`
+	Metrics     metrics.Routing     `json:"metrics"`
+	PinOpt      *PinOptSummary      `json:"pinopt,omitempty"`
+	Incremental *IncrementalSummary `json:"incremental,omitempty"`
 }
 
 // Job is the wire form of a job snapshot, returned by POST /v1/jobs and
@@ -81,8 +97,11 @@ type Job struct {
 	ID string `json:"id"`
 	// Key is the content address of the request (see cache.Key); empty
 	// for uncacheable requests.
-	Key   string `json:"key,omitempty"`
-	State string `json:"state"`
+	Key string `json:"key,omitempty"`
+	// BaseJob echoes the incremental baseline the job was submitted
+	// against, if any.
+	BaseJob string `json:"base_job,omitempty"`
+	State   string `json:"state"`
 	// Cached reports that the result was served from the
 	// content-addressed cache without running the optimizer.
 	Cached      bool    `json:"cached,omitempty"`
@@ -94,14 +113,18 @@ type Job struct {
 
 // Stats is the body of GET /v1/stats.
 type Stats struct {
-	QueueDepth   int                        `json:"queue_depth"`
-	QueueCap     int                        `json:"queue_cap"`
-	Running      int                        `json:"running"`
-	Draining     bool                       `json:"draining"`
-	ByState      map[string]int64           `json:"jobs_by_state"`
-	Cache        cache.Stats                `json:"cache"`
-	CacheHitRate float64                    `json:"cache_hit_rate"`
-	Stages       map[string]jobs.StageStats `json:"stage_latency"`
+	QueueDepth   int              `json:"queue_depth"`
+	QueueCap     int              `json:"queue_cap"`
+	Running      int              `json:"running"`
+	Draining     bool             `json:"draining"`
+	ByState      map[string]int64 `json:"jobs_by_state"`
+	Cache        cache.Stats      `json:"cache"`
+	CacheHitRate float64          `json:"cache_hit_rate"`
+	// PanelCache counts per-panel artifact reuse: the incremental hit
+	// rate harvested by design-level misses.
+	PanelCache        cache.Stats                `json:"panel_cache"`
+	PanelCacheHitRate float64                    `json:"panel_cache_hit_rate"`
+	Stages            map[string]jobs.StageStats `json:"stage_latency"`
 }
 
 // Health is the body of GET /v1/healthz.

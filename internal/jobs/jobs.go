@@ -19,7 +19,21 @@ import (
 	"cpr/internal/core"
 	"cpr/internal/design"
 	"cpr/internal/designio"
+	"cpr/internal/pipeline"
 )
+
+// ResultCache is the daemon's two-level cache: whole-design results at
+// the top, per-panel pipeline artifacts below. A design-level hit
+// answers a resubmission without running anything; a design-level miss
+// still harvests panel-level hits for every unchanged panel.
+type ResultCache = cache.TwoLevel[*core.RunResult, *pipeline.PanelArtifact]
+
+// NewResultCache creates the two-level cache. Capacities <= 0 take the
+// cache package defaults; the panel level typically wants a multiple of
+// the design level (one design contributes many panels).
+func NewResultCache(designCap, panelCap int) *ResultCache {
+	return cache.NewTwoLevel[*core.RunResult, *pipeline.PanelArtifact](designCap, panelCap)
+}
 
 // State is a job's lifecycle state. Terminal states are StateDone and
 // StateFailed; a canceled or timed-out job lands in StateFailed.
@@ -61,11 +75,22 @@ var (
 	// ErrDraining is returned by Submit after Drain started; HTTP maps
 	// it to 503.
 	ErrDraining = errors.New("jobs: manager draining")
+	// ErrUnknownBaseJob is returned by SubmitBase when the base job ID is
+	// not (or no longer) known; HTTP maps it to 400.
+	ErrUnknownBaseJob = errors.New("jobs: unknown base job")
+	// ErrBaseNotDone is returned by SubmitBase when the base job has not
+	// finished successfully, so it has no result to rerun against; HTTP
+	// maps it to 400.
+	ErrBaseNotDone = errors.New("jobs: base job has no result")
 )
 
 // RunFunc executes one optimization request. The default is
 // core.RunContext; tests substitute stubs.
 type RunFunc func(ctx context.Context, d *design.Design, opts core.Options) (*core.RunResult, error)
+
+// RerunFunc executes one incremental request against a base result. The
+// default is core.RerunContext; tests substitute stubs.
+type RerunFunc func(ctx context.Context, prev *core.RunResult, d *design.Design, opts core.Options) (*core.RunResult, error)
 
 // Config tunes a Manager. Zero values take the documented defaults.
 type Config struct {
@@ -85,6 +110,9 @@ type Config struct {
 	// Run overrides the job executor (tests only; default
 	// core.RunContext).
 	Run RunFunc
+	// Rerun overrides the incremental job executor (tests only; default
+	// core.RerunContext).
+	Rerun RerunFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +128,9 @@ func (c Config) withDefaults() Config {
 	if c.Run == nil {
 		c.Run = core.RunContext
 	}
+	if c.Rerun == nil {
+		c.Rerun = core.RerunContext
+	}
 	return c
 }
 
@@ -112,9 +143,15 @@ type Job struct {
 	// design hash and options fingerprint); empty for uncacheable
 	// requests (custom profit functions).
 	Key string
+	// BaseJobID is the finished job this one reruns incrementally
+	// against; empty for cold submissions. A base never changes the
+	// result — only how much of it is recomputed — so it is not part of
+	// Key.
+	BaseJobID string
 
 	design *design.Design
 	opts   core.Options
+	base   *core.RunResult // base job's result for incremental reruns
 
 	mu        sync.Mutex
 	state     State
@@ -132,6 +169,7 @@ type Job struct {
 type Snapshot struct {
 	ID        string
 	Key       string
+	BaseJobID string
 	State     State
 	Cached    bool
 	Result    *core.RunResult
@@ -152,6 +190,7 @@ func (j *Job) Snapshot() Snapshot {
 	s := Snapshot{
 		ID:        j.ID,
 		Key:       j.Key,
+		BaseJobID: j.BaseJobID,
 		State:     j.state,
 		Cached:    j.cached,
 		Result:    j.result,
@@ -237,20 +276,24 @@ type StageStats struct {
 
 // Stats is a point-in-time view of the manager for /v1/stats.
 type Stats struct {
-	QueueDepth   int                   `json:"queue_depth"`
-	QueueCap     int                   `json:"queue_cap"`
-	Running      int                   `json:"running"`
-	Draining     bool                  `json:"draining"`
-	ByState      map[string]int64      `json:"jobs_by_state"`
-	Cache        cache.Stats           `json:"cache"`
-	CacheHitRate float64               `json:"cache_hit_rate"`
-	Stages       map[string]StageStats `json:"stage_latency"`
+	QueueDepth   int              `json:"queue_depth"`
+	QueueCap     int              `json:"queue_cap"`
+	Running      int              `json:"running"`
+	Draining     bool             `json:"draining"`
+	ByState      map[string]int64 `json:"jobs_by_state"`
+	Cache        cache.Stats      `json:"cache"`
+	CacheHitRate float64          `json:"cache_hit_rate"`
+	// PanelCache counts per-panel artifact hits and misses: the
+	// incremental-reuse rate of design-level misses.
+	PanelCache        cache.Stats           `json:"panel_cache"`
+	PanelCacheHitRate float64               `json:"panel_cache_hit_rate"`
+	Stages            map[string]StageStats `json:"stage_latency"`
 }
 
 // Manager owns the queue, the workers, and the job registry.
 type Manager struct {
 	cfg   Config
-	cache *cache.Cache[*core.RunResult]
+	cache *ResultCache
 
 	queue   chan *Job
 	workers sync.WaitGroup
@@ -273,7 +316,7 @@ type Manager struct {
 // without caching.
 //
 //cprlint:ctxpass worker lifecycle is bound to the queue channel; Drain(ctx) closes it and honors its context
-func New(cfg Config, c *cache.Cache[*core.RunResult]) *Manager {
+func New(cfg Config, c *ResultCache) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
 		cfg:      cfg,
@@ -299,6 +342,39 @@ func New(cfg Config, c *cache.Cache[*core.RunResult]) *Manager {
 // Otherwise the job enters the FIFO queue, or ErrQueueFull /
 // ErrDraining is returned.
 func (m *Manager) Submit(d *design.Design, opts core.Options) (*Job, error) {
+	return m.SubmitBase(d, opts, "")
+}
+
+// SubmitBase is Submit with an incremental baseline: when baseJobID
+// names a finished job, the new job reruns against its result,
+// recomputing only the panels the edit dirtied and splicing the rest.
+// The baseline never changes the result — the hard invariant of
+// core.Rerun is byte-identity with a cold run — so the design-level
+// cache key, the cached-answer fast path, and coalescing all behave
+// exactly as for Submit. The base job's panel artifacts are re-warmed
+// into the panel cache at submission, so reuse survives earlier
+// evictions.
+func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID string) (*Job, error) {
+	var base *core.RunResult
+	if baseJobID != "" {
+		baseJob, ok := m.Get(baseJobID)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownBaseJob, baseJobID)
+		}
+		snap := baseJob.Snapshot()
+		if snap.State != StateDone || snap.Result == nil {
+			return nil, fmt.Errorf("%w: %q is %s", ErrBaseNotDone, baseJobID, snap.State)
+		}
+		base = snap.Result
+		if m.cache != nil && base.Artifacts != nil {
+			for _, a := range base.Artifacts.Panels {
+				if a.Key != "" && !m.cache.Panel.Contains(a.Key) {
+					m.cache.Panel.Put(a.Key, a)
+				}
+			}
+		}
+	}
+
 	fp := Fingerprint(opts)
 	cacheable := opts.Profit == nil
 	var key string
@@ -316,8 +392,9 @@ func (m *Manager) Submit(d *design.Design, opts core.Options) (*Job, error) {
 		return nil, ErrDraining
 	}
 	if cacheable && m.cache != nil {
-		if res, ok := m.cache.Get(key); ok {
+		if res, ok := m.cache.Design.Get(key); ok {
 			job := m.newJobLocked(key, d, opts)
+			job.BaseJobID = baseJobID
 			now := time.Now()
 			job.state = StateDone
 			job.cached = true
@@ -339,6 +416,8 @@ func (m *Manager) Submit(d *design.Design, opts core.Options) (*Job, error) {
 		return nil, ErrQueueFull
 	}
 	job := m.newJobLocked(key, d, opts)
+	job.BaseJobID = baseJobID
+	job.base = base
 	m.counts[StateQueued]++
 	if cacheable {
 		m.inflight[key] = job
@@ -440,7 +519,22 @@ func (m *Manager) execute(job *Job) {
 		return
 	}
 
-	res, err := m.cfg.Run(ctx, job.design, job.opts)
+	// The panel cache is wired for cacheable jobs only: Key == "" means
+	// the request is uncacheable (custom profit), and the same condition
+	// makes panel artifacts unaddressable.
+	opts := job.opts
+	if job.Key != "" && m.cache != nil {
+		opts.PanelCache = m.cache.Panel
+	}
+	var (
+		res *core.RunResult
+		err error
+	)
+	if job.base != nil {
+		res, err = m.cfg.Rerun(ctx, job.base, job.design, opts)
+	} else {
+		res, err = m.cfg.Run(ctx, job.design, opts)
+	}
 	end := time.Now()
 
 	job.mu.Lock()
@@ -455,7 +549,7 @@ func (m *Manager) execute(job *Job) {
 	job.mu.Unlock()
 
 	if err == nil && job.Key != "" && m.cache != nil {
-		m.cache.Put(job.Key, res)
+		m.cache.Design.Put(job.Key, res)
 	}
 	m.finish(job, queueWait, end.Sub(start), res, true)
 }
@@ -518,8 +612,10 @@ func (m *Manager) Stats() Stats {
 		}
 	}
 	if m.cache != nil {
-		st.Cache = m.cache.Stats()
+		st.Cache = m.cache.Design.Stats()
 		st.CacheHitRate = st.Cache.HitRate()
+		st.PanelCache = m.cache.Panel.Stats()
+		st.PanelCacheHitRate = st.PanelCache.HitRate()
 	}
 	names := make([]string, 0, len(m.stages))
 	for name := range m.stages {

@@ -9,10 +9,10 @@ import (
 	"testing"
 	"time"
 
-	"cpr/internal/cache"
 	"cpr/internal/core"
 	"cpr/internal/design"
 	"cpr/internal/lagrange"
+	"cpr/internal/pipeline"
 	"cpr/internal/synth"
 )
 
@@ -49,7 +49,7 @@ func TestSubmitRunsToDone(t *testing.T) {
 			runs.Add(1)
 			return &core.RunResult{}, nil
 		},
-	}, cache.New[*core.RunResult](16))
+	}, NewResultCache(16, 0))
 	d := testDesign(t)
 
 	job, err := m.Submit(d, core.Options{})
@@ -79,7 +79,7 @@ func TestCacheHitOnIdenticalResubmission(t *testing.T) {
 			runs.Add(1)
 			return &core.RunResult{}, nil
 		},
-	}, cache.New[*core.RunResult](16))
+	}, NewResultCache(16, 0))
 	d := testDesign(t)
 
 	first, err := m.Submit(d, core.Options{})
@@ -120,7 +120,7 @@ func TestDifferentOptionsMissCache(t *testing.T) {
 			runs.Add(1)
 			return &core.RunResult{}, nil
 		},
-	}, cache.New[*core.RunResult](16))
+	}, NewResultCache(16, 0))
 	d := testDesign(t)
 	a, _ := m.Submit(d, optsN(1))
 	waitTerminal(t, a)
@@ -141,7 +141,7 @@ func TestCoalesceIdenticalInflight(t *testing.T) {
 			<-release
 			return &core.RunResult{}, nil
 		},
-	}, cache.New[*core.RunResult](16))
+	}, NewResultCache(16, 0))
 	d := testDesign(t)
 
 	a, err := m.Submit(d, core.Options{})
@@ -173,7 +173,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 			<-release
 			return &core.RunResult{}, nil
 		},
-	}, cache.New[*core.RunResult](16))
+	}, NewResultCache(16, 0))
 	d := testDesign(t)
 
 	first, err := m.Submit(d, optsN(1))
@@ -209,7 +209,7 @@ func TestJobTimeoutFailsWithoutWedging(t *testing.T) {
 			}
 			return &core.RunResult{}, nil
 		},
-	}, cache.New[*core.RunResult](16))
+	}, NewResultCache(16, 0))
 	d := testDesign(t)
 
 	slow, err := m.Submit(d, optsN(999))
@@ -240,7 +240,7 @@ func TestDrainCompletesInflightJobs(t *testing.T) {
 			time.Sleep(20 * time.Millisecond)
 			return &core.RunResult{}, nil
 		},
-	}, cache.New[*core.RunResult](16))
+	}, NewResultCache(16, 0))
 	d := testDesign(t)
 
 	var jobs []*Job
@@ -273,7 +273,7 @@ func TestDrainDeadlineCancelsRunningJobs(t *testing.T) {
 			<-ctx.Done() // cooperates with cancellation but never finishes on its own
 			return nil, ctx.Err()
 		},
-	}, cache.New[*core.RunResult](16))
+	}, NewResultCache(16, 0))
 	d := testDesign(t)
 
 	running, err := m.Submit(d, optsN(1))
@@ -316,7 +316,7 @@ func TestStressNoJobLostNoDoubleRun(t *testing.T) {
 			time.Sleep(100 * time.Microsecond)
 			return &core.RunResult{}, nil
 		},
-	}, cache.New[*core.RunResult](keys*2))
+	}, NewResultCache(keys*2, 0))
 	d := testDesign(t)
 
 	var (
@@ -373,5 +373,124 @@ func TestFingerprintNormalization(t *testing.T) {
 	}
 	if fmt.Sprint(Fingerprint(core.Options{})) == "" {
 		t.Error("empty fingerprint")
+	}
+}
+
+// TestSubmitBaseDispatchesRerun: a submission naming a finished base job
+// must execute through the Rerun path with the base's result, while a
+// baseless submission stays on Run.
+func TestSubmitBaseDispatchesRerun(t *testing.T) {
+	baseRes := &core.RunResult{}
+	var runs, reruns atomic.Int64
+	var gotBase *core.RunResult
+	m := New(Config{
+		MaxConcurrent: 1,
+		Run: func(ctx context.Context, d *design.Design, o core.Options) (*core.RunResult, error) {
+			runs.Add(1)
+			return baseRes, nil
+		},
+		Rerun: func(ctx context.Context, prev *core.RunResult, d *design.Design, o core.Options) (*core.RunResult, error) {
+			reruns.Add(1)
+			gotBase = prev
+			return &core.RunResult{}, nil
+		},
+	}, NewResultCache(16, 16))
+	d := testDesign(t)
+
+	base, err := m.Submit(d, optsN(1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitTerminal(t, base)
+
+	// Different options mint a different design key, so the incremental
+	// submission misses the design cache and actually executes.
+	inc, err := m.SubmitBase(d, optsN(2), base.ID)
+	if err != nil {
+		t.Fatalf("SubmitBase: %v", err)
+	}
+	snap := waitTerminal(t, inc)
+	if snap.State != StateDone || snap.BaseJobID != base.ID {
+		t.Fatalf("snapshot = %+v, want done with base %s", snap, base.ID)
+	}
+	if runs.Load() != 1 || reruns.Load() != 1 {
+		t.Fatalf("runs=%d reruns=%d, want 1 and 1", runs.Load(), reruns.Load())
+	}
+	if gotBase != baseRes {
+		t.Fatal("Rerun did not receive the base job's result")
+	}
+}
+
+// TestSubmitBaseErrors: unknown and unfinished base jobs are rejected at
+// submission time with typed errors (HTTP maps both to 400).
+func TestSubmitBaseErrors(t *testing.T) {
+	release := make(chan struct{})
+	m := New(Config{
+		MaxConcurrent: 1,
+		Run: func(ctx context.Context, d *design.Design, o core.Options) (*core.RunResult, error) {
+			<-release
+			return &core.RunResult{}, nil
+		},
+	}, NewResultCache(16, 16))
+	d := testDesign(t)
+
+	if _, err := m.SubmitBase(d, core.Options{}, "no-such-job"); !errors.Is(err, ErrUnknownBaseJob) {
+		t.Fatalf("unknown base error = %v, want ErrUnknownBaseJob", err)
+	}
+
+	running, err := m.Submit(d, optsN(1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := m.SubmitBase(d, optsN(2), running.ID); !errors.Is(err, ErrBaseNotDone) {
+		t.Fatalf("unfinished base error = %v, want ErrBaseNotDone", err)
+	}
+	close(release)
+	waitTerminal(t, running)
+}
+
+// TestSubmitBaseRewarmsPanelCache: the base job's panel artifacts are
+// re-inserted into the panel cache at submission time, so incremental
+// reuse survives earlier panel-level evictions.
+func TestSubmitBaseRewarmsPanelCache(t *testing.T) {
+	arts := &pipeline.ArtifactSet{
+		Fingerprint: "fp",
+		Panels: []*pipeline.PanelArtifact{
+			{Panel: 0, Key: "panel-key-0"},
+			{Panel: 1, Key: "panel-key-1"},
+			{Panel: 2}, // keyless artifacts must be skipped, not inserted
+		},
+	}
+	c := NewResultCache(16, 16)
+	m := New(Config{
+		MaxConcurrent: 1,
+		Run: func(ctx context.Context, d *design.Design, o core.Options) (*core.RunResult, error) {
+			return &core.RunResult{Artifacts: arts}, nil
+		},
+		Rerun: func(ctx context.Context, prev *core.RunResult, d *design.Design, o core.Options) (*core.RunResult, error) {
+			return &core.RunResult{}, nil
+		},
+	}, c)
+	d := testDesign(t)
+
+	base, err := m.Submit(d, optsN(1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitTerminal(t, base)
+	if c.Panel.Contains("panel-key-0") {
+		t.Fatal("panel cache warmed before any incremental submission (stub Run bypasses it)")
+	}
+
+	inc, err := m.SubmitBase(d, optsN(2), base.ID)
+	if err != nil {
+		t.Fatalf("SubmitBase: %v", err)
+	}
+	waitTerminal(t, inc)
+	if !c.Panel.Contains("panel-key-0") || !c.Panel.Contains("panel-key-1") {
+		t.Error("base artifacts were not re-warmed into the panel cache")
+	}
+	if c.Panel.Len() != 2 {
+		t.Errorf("panel cache holds %d entries, want 2 (keyless artifact skipped)", c.Panel.Len())
 	}
 }

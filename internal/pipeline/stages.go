@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"cpr/internal/assign"
+	"cpr/internal/cache"
+	"cpr/internal/design"
+	"cpr/internal/ilp"
+	"cpr/internal/lagrange"
+	"cpr/internal/pinaccess"
+)
+
+// SolverConfig carries the result-affecting knobs of the assignment
+// stages. It deliberately excludes worker counts: the determinism
+// contract of internal/parallel makes every artifact byte-identical for
+// every worker count, so concurrency never reaches a content address.
+type SolverConfig struct {
+	// UseILP selects the exact branch-and-bound solver; LR otherwise.
+	// An ILP run that hits its limits falls back to LR, mirroring how a
+	// production flow degrades.
+	UseILP bool
+	// ILP configures the exact solver.
+	ILP ilp.Config
+	// LR configures the Lagrangian relaxation solver.
+	LR lagrange.Config
+	// Profit is the interval profit function; nil selects the paper's
+	// assign.SqrtProfit. A non-nil function makes the config uncacheable
+	// (function identity cannot be content-addressed).
+	Profit assign.ProfitFn
+}
+
+// profit resolves the effective profit function.
+func (c SolverConfig) profit() assign.ProfitFn {
+	if c.Profit != nil {
+		return c.Profit
+	}
+	return assign.SqrtProfit
+}
+
+// Cacheable reports whether panel artifacts produced under this config
+// may be content-addressed and reused. Three things opt out:
+//
+//   - a custom Profit function (identity not addressable);
+//   - a caller-provided LR.Stop hook (it can truncate the solve
+//     non-deterministically);
+//   - ILP with a wall-clock TimeLimit (the incumbent at the deadline is
+//     timing-dependent, so equal keys would not imply equal artifacts).
+func (c SolverConfig) Cacheable() bool {
+	if c.Profit != nil || c.LR.Stop != nil {
+		return false
+	}
+	if c.UseILP && c.ILP.TimeLimit > 0 {
+		return false
+	}
+	return true
+}
+
+// Fingerprint renders the result-affecting solver fields into a
+// canonical string, the second half of the per-panel cache key. Router
+// and sequential-baseline options are deliberately absent — they cannot
+// affect pin access artifacts — so a router reconfiguration still reuses
+// every panel.
+func (c SolverConfig) Fingerprint() string {
+	var b strings.Builder
+	opt := "lr"
+	if c.UseILP {
+		opt = "ilp"
+	}
+	fmt.Fprintf(&b, "pinopt-v1 optimizer=%s", opt)
+	fmt.Fprintf(&b, " lr=%d,%g,%t,%t,%t,%t",
+		c.LR.MaxIterations, c.LR.Alpha, c.LR.DisableSameNetTieBreak,
+		c.LR.FullSubgradient, c.LR.SkipRefinement, c.LR.SkipPostImprove)
+	fmt.Fprintf(&b, " ilp=%d,%d", c.ILP.MaxNodes, int64(c.ILP.TimeLimit))
+	if c.Profit != nil {
+		b.WriteString(" profit=custom")
+	}
+	if c.LR.Stop != nil {
+		b.WriteString(" stop=custom")
+	}
+	return b.String()
+}
+
+// PanelKeyFor returns the content address of panel p's artifacts under
+// the given solver fingerprint, or "" when the config is uncacheable.
+func PanelKeyFor(d *design.Design, idx *design.TrackIndex, panel int, cfg SolverConfig) string {
+	if !cfg.Cacheable() {
+		return ""
+	}
+	return cache.PanelKey(PanelHash(d, idx, panel), cfg.Fingerprint())
+}
+
+// GenerateStage runs stage 1 for one panel: track-based interval
+// generation over the panel's pins (paper §3.1). workers bounds the
+// per-track enumeration concurrency.
+func GenerateStage(d *design.Design, idx *design.TrackIndex, pinIDs []int, workers int) (*IntervalSet, error) {
+	set, err := pinaccess.GenerateWithOptions(d, idx, pinIDs, pinaccess.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return &IntervalSet{Set: set}, nil
+}
+
+// ConflictStage runs stage 2: the per-track conflict sweep plus profit
+// evaluation, producing the assignment model (paper §3.2).
+func ConflictStage(s *IntervalSet, cfg SolverConfig, workers int) *ConflictModel {
+	return &ConflictModel{Model: assign.BuildWorkers(s.Set, cfg.profit(), workers)}
+}
+
+// AssignStage runs stage 3: weighted interval assignment with the
+// configured solver, legality-checked (paper §3.3/§3.4). ctx cancels
+// between LR subgradient iterations; a context that never fires leaves
+// the artifact byte-identical to an uncancellable run.
+func AssignStage(ctx context.Context, m *ConflictModel, cfg SolverConfig, workers int) (*Assignment, error) {
+	model := m.Model
+	if cfg.UseILP {
+		sol, res, err := model.SolveILP(cfg.ILP)
+		if err == nil {
+			if err := model.CheckLegal(sol); err != nil {
+				return nil, fmt.Errorf("pipeline: illegal ILP assignment: %w", err)
+			}
+			return &Assignment{Solution: sol, Converged: res.Status == ilp.Optimal}, nil
+		}
+		// Fall through to LR on solver limits.
+	}
+	lrCfg := cfg.LR
+	if lrCfg.Workers == 0 {
+		lrCfg.Workers = workers
+	}
+	if lrCfg.Stop == nil && ctx.Done() != nil {
+		lrCfg.Stop = func() bool { return ctx.Err() != nil }
+	}
+	res := lagrange.Solve(model, lrCfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := model.CheckLegal(res.Solution); err != nil {
+		return nil, fmt.Errorf("pipeline: illegal assignment: %w", err)
+	}
+	return &Assignment{Solution: res.Solution, Converged: res.Converged}, nil
+}
+
+// SolvePanel runs the three stages for one panel end to end and bundles
+// the result as a keyed PanelArtifact.
+func SolvePanel(ctx context.Context, d *design.Design, idx *design.TrackIndex, panel int, pinIDs []int, cfg SolverConfig, workers int) (*PanelArtifact, error) {
+	set, err := GenerateStage(d, idx, pinIDs, workers)
+	if err != nil {
+		return nil, err
+	}
+	model := ConflictStage(set, cfg, workers)
+	sol, err := AssignStage(ctx, model, cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &PanelArtifact{
+		Panel:        panel,
+		Key:          PanelKeyFor(d, idx, panel, cfg),
+		Intervals:    set,
+		Assignment:   sol,
+		NumConflicts: len(model.Model.Conflicts.Sets),
+	}, nil
+}

@@ -6,8 +6,6 @@ import (
 	"testing"
 
 	"cpr/client"
-	"cpr/internal/cache"
-	"cpr/internal/core"
 	"cpr/internal/jobs"
 )
 
@@ -15,7 +13,7 @@ import (
 // specs.
 func benchServer(b *testing.B) *client.Client {
 	b.Helper()
-	mgr := jobs.New(jobs.Config{MaxConcurrent: 2}, cache.New[*core.RunResult](1<<16))
+	mgr := jobs.New(jobs.Config{MaxConcurrent: 2}, jobs.NewResultCache(1<<16, 0))
 	ts := httptest.NewServer(New(mgr).Handler())
 	b.Cleanup(ts.Close)
 	return client.New(ts.URL)

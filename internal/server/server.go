@@ -8,8 +8,10 @@
 //	GET  /debug/vars    the same counters via expvar
 //
 // Identical submissions are served from cache (no optimizer run) and
-// identical in-flight submissions coalesce onto one job. A full queue
-// answers 429; a draining server answers 503.
+// identical in-flight submissions coalesce onto one job. A submission
+// naming a finished base_job reruns incrementally, recomputing only the
+// panels its edit dirtied (the result is byte-identical either way). A
+// full queue answers 429; a draining server answers 503.
 package server
 
 import (
@@ -107,7 +109,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job, err := s.mgr.Submit(d, opts)
+	job, err := s.mgr.SubmitBase(d, opts, req.BaseJob)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, err)
@@ -153,14 +155,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.mgr.Stats()
 	writeJSON(w, http.StatusOK, httpapi.Stats{
-		QueueDepth:   st.QueueDepth,
-		QueueCap:     st.QueueCap,
-		Running:      st.Running,
-		Draining:     st.Draining,
-		ByState:      st.ByState,
-		Cache:        st.Cache,
-		CacheHitRate: st.CacheHitRate,
-		Stages:       st.Stages,
+		QueueDepth:        st.QueueDepth,
+		QueueCap:          st.QueueCap,
+		Running:           st.Running,
+		Draining:          st.Draining,
+		ByState:           st.ByState,
+		Cache:             st.Cache,
+		CacheHitRate:      st.CacheHitRate,
+		PanelCache:        st.PanelCache,
+		PanelCacheHitRate: st.PanelCacheHitRate,
+		Stages:            st.Stages,
 	})
 }
 
@@ -236,6 +240,7 @@ func jobToWire(s jobs.Snapshot) httpapi.Job {
 	wj := httpapi.Job{
 		ID:          s.ID,
 		Key:         s.Key,
+		BaseJob:     s.BaseJobID,
 		State:       s.State.String(),
 		Cached:      s.Cached,
 		Error:       s.Err,
@@ -255,6 +260,13 @@ func jobToWire(s jobs.Snapshot) httpapi.Job {
 				Conflicts: po.TotalConflicts,
 				Objective: po.Objective,
 				ElapsedMS: float64(po.Elapsed) / float64(time.Millisecond),
+			}
+		}
+		if inc := s.Result.Incremental; inc != nil {
+			res.Incremental = &httpapi.IncrementalSummary{
+				Panels:     inc.Panels,
+				Reused:     inc.Reused,
+				Recomputed: inc.Recomputed,
 			}
 		}
 		wj.Result = res

@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"cpr/client"
-	"cpr/internal/cache"
 	"cpr/internal/core"
 	"cpr/internal/design"
 	"cpr/internal/designio"
@@ -28,7 +27,7 @@ var smallSpec = client.Spec{Name: "srv-test", Nets: 20, Width: 80, Height: 30, S
 // behind an httptest server and returns a client for it.
 func newTestServer(t *testing.T, cfg jobs.Config) (*jobs.Manager, *client.Client) {
 	t.Helper()
-	mgr := jobs.New(cfg, cache.New[*core.RunResult](256))
+	mgr := jobs.New(cfg, jobs.NewResultCache(256, 0))
 	ts := httptest.NewServer(New(mgr).Handler())
 	t.Cleanup(ts.Close)
 	return mgr, client.New(ts.URL)
@@ -283,7 +282,7 @@ func TestBadRequests(t *testing.T) {
 }
 
 func TestExpvarExposesCounters(t *testing.T) {
-	mgr := jobs.New(jobs.Config{MaxConcurrent: 1}, cache.New[*core.RunResult](8))
+	mgr := jobs.New(jobs.Config{MaxConcurrent: 1}, jobs.NewResultCache(8, 0))
 	ts := httptest.NewServer(New(mgr).Handler())
 	defer ts.Close()
 
@@ -309,5 +308,111 @@ func TestExpvarExposesCounters(t *testing.T) {
 	}
 	if st.QueueCap != 64 {
 		t.Fatalf("queue cap via expvar = %d, want default 64", st.QueueCap)
+	}
+}
+
+// TestIncrementalSubmitWithBaseJob drives the full incremental path over
+// HTTP with the real pipeline: submit a design, move one pin, resubmit
+// naming the first job as base_job, and check that panels were reused,
+// the panel-cache counters moved, and the result matches a cold run of
+// the edited design.
+func TestIncrementalSubmitWithBaseJob(t *testing.T) {
+	_, c := newTestServer(t, jobs.Config{MaxConcurrent: 2})
+	ctx := context.Background()
+
+	d, err := synth.Generate(synth.Spec{Name: "inc-e2e", Nets: 40, Width: 100, Height: 40, Seed: 9})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	var sb strings.Builder
+	if err := designio.Write(&sb, d); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	base, err := c.Submit(ctx, client.SubmitRequest{Design: sb.String(), Wait: true})
+	if err != nil {
+		t.Fatalf("base submit: %v", err)
+	}
+	if base.State != "done" {
+		t.Fatalf("base job = %+v, want done", base)
+	}
+
+	// Move one pin by one column; the rebuilt text is a valid ECO edit.
+	edited := *d
+	edited.Pins = append([]design.Pin(nil), d.Pins...)
+	p := &edited.Pins[0]
+	p.Shape.X0++
+	p.Shape.X1++
+	if err := edited.Validate(); err != nil {
+		t.Fatalf("edit invalid: %v", err)
+	}
+	var eb strings.Builder
+	if err := designio.Write(&eb, &edited); err != nil {
+		t.Fatalf("write edited: %v", err)
+	}
+
+	inc, err := c.SubmitIncremental(ctx, eb.String(), base.ID, nil)
+	if err != nil {
+		t.Fatalf("incremental submit: %v", err)
+	}
+	final, err := c.Wait(ctx, inc.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.State != "done" || final.Cached {
+		t.Fatalf("incremental job = %+v, want done uncached", final)
+	}
+	if final.BaseJob != base.ID {
+		t.Errorf("base_job echo = %q, want %q", final.BaseJob, base.ID)
+	}
+	sum := final.Result.Incremental
+	if sum == nil || sum.Reused == 0 {
+		t.Fatalf("incremental summary = %+v, want reused panels", sum)
+	}
+	if sum.Reused+len(sum.Recomputed) != sum.Panels {
+		t.Errorf("summary does not add up: %+v", sum)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.PanelCache.Hits == 0 {
+		t.Errorf("panel cache hits = 0, want > 0 after incremental resubmission")
+	}
+	if st.PanelCacheHitRate <= 0 {
+		t.Errorf("panel cache hit rate = %v, want > 0", st.PanelCacheHitRate)
+	}
+
+	// Byte-identity over the wire: a cold server run of the edited design
+	// must produce the same result payload (provenance fields aside).
+	_, cold := newTestServer(t, jobs.Config{MaxConcurrent: 2})
+	coldJob, err := cold.Submit(ctx, client.SubmitRequest{Design: eb.String(), Wait: true})
+	if err != nil {
+		t.Fatalf("cold submit: %v", err)
+	}
+	got, want := *final.Result, *coldJob.Result
+	got.Incremental, want.Incremental = nil, nil
+	got.PinOpt.ElapsedMS, want.PinOpt.ElapsedMS = 0, 0
+	got.Metrics.CPUSeconds, want.Metrics.CPUSeconds = 0, 0
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("incremental result differs from cold run:\n inc  %+v\n cold %+v", got, want)
+	}
+}
+
+// TestUnknownBaseJobRejected: naming a base job the daemon does not know
+// is a 400 at submission time.
+func TestUnknownBaseJobRejected(t *testing.T) {
+	_, c := newTestServer(t, jobs.Config{MaxConcurrent: 1})
+	var sb strings.Builder
+	d, err := synth.Generate(synth.Spec{Name: "inc-bad", Nets: 10, Width: 60, Height: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := designio.Write(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.SubmitIncremental(context.Background(), sb.String(), "job-does-not-exist", nil)
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("error = %v, want HTTP 400", err)
 	}
 }

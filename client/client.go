@@ -146,6 +146,61 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 	return &h, nil
 }
 
+// TraceFormat selects the encoding of a job trace.
+type TraceFormat string
+
+const (
+	// TraceChrome is Chrome trace_event JSON, loadable in chrome://tracing
+	// or Perfetto (the daemon's default).
+	TraceChrome TraceFormat = "chrome"
+	// TraceJSON is the raw span-record export.
+	TraceJSON TraceFormat = "json"
+)
+
+// Trace fetches a job's span trace as raw bytes in the given format
+// (empty defaults to TraceChrome). The daemon answers 404 for jobs that
+// never ran (cache hits) or when tracing is disabled.
+func (c *Client) Trace(ctx context.Context, id string, format TraceFormat) ([]byte, error) {
+	path := "/v1/jobs/" + id + "/trace"
+	if format != "" {
+		path += "?format=" + string(format)
+	}
+	return c.raw(ctx, path)
+}
+
+// Metrics fetches the daemon's /metrics endpoint: Prometheus text
+// exposition of the operational metrics registry (empty when the daemon
+// runs without one).
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	return c.raw(ctx, "/metrics")
+}
+
+// raw GETs a path and returns the body bytes, mapping non-2xx responses
+// to StatusError like do.
+func (c *Client) raw(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cprd client: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cprd client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return nil, fmt.Errorf("cprd client: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr httpapi.Error
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return nil, &StatusError{Code: resp.StatusCode, Message: apiErr.Error}
+		}
+		return nil, &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	return data, nil
+}
+
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {

@@ -9,9 +9,11 @@
 //	cpr -nets 500 -width 200 -height 100 -seed 7 -mode nopinopt
 //	cpr -circuit ecc -mode cpr -optimizer ilp -ilp-timeout 30s
 //	cpr -load edited.cprd -baseline original.cprd   # incremental (ECO) rerun
+//	cpr -circuit ecc -trace ecc.trace.json          # Chrome trace of the pipeline
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,11 +47,17 @@ func main() {
 		savePath   = flag.String("save", "", "write the design to a cpr-design file before routing")
 		svgPath    = flag.String("svg", "", "write the routed layout as SVG")
 		asciiPanel = flag.Int("ascii", -1, "print the given panel's M2 occupancy as ASCII")
+		tracePath  = cliutil.Trace()
+		traceFmt   = cliutil.TraceFormat()
 	)
 	flag.Parse()
 
+	ctx, flushTrace, err := cliutil.StartTrace(context.Background(), *tracePath, *traceFmt)
+	if err != nil {
+		fatal(err)
+	}
+
 	var d *design.Design
-	var err error
 	if *loadPath != "" {
 		f, ferr := os.Open(*loadPath)
 		if ferr != nil {
@@ -88,16 +96,19 @@ func main() {
 		if berr != nil {
 			fatal(berr)
 		}
-		baseRes, berr := core.Run(base, opts)
+		baseRes, berr := core.RunContext(ctx, base, opts)
 		if berr != nil {
 			fatal(fmt.Errorf("baseline run: %w", berr))
 		}
-		res, err = core.Rerun(baseRes, d, opts)
+		res, err = core.RerunContext(ctx, baseRes, d, opts)
 	} else {
-		res, err = core.Run(d, opts)
+		res, err = core.RunContext(ctx, d, opts)
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if err := flushTrace(); err != nil {
+		fatal(fmt.Errorf("writing trace: %w", err))
 	}
 	if *svgPath != "" {
 		f, ferr := os.Create(*svgPath)

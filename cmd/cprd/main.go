@@ -9,10 +9,13 @@
 //	cprd -addr 127.0.0.1:9090 -max-jobs 4 -queue-cap 128
 //	cprd -job-timeout 2m -cache-cap 4096 -workers 0
 //
-// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/healthz,
-// GET /v1/stats, GET /debug/vars. On SIGTERM/SIGINT the daemon stops
-// accepting jobs, drains in-flight work (bounded by -drain-timeout, with
-// running jobs canceled at the deadline), and exits cleanly.
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/trace,
+// GET /v1/healthz, GET /v1/stats, GET /metrics (Prometheus text),
+// GET /debug/vars. With -debug-addr a second listener serves
+// net/http/pprof profiles on a private address. On SIGTERM/SIGINT the
+// daemon stops accepting jobs, drains in-flight work (bounded by
+// -drain-timeout, with running jobs canceled at the deadline), and exits
+// cleanly.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +35,7 @@ import (
 	"cpr/internal/design"
 	"cpr/internal/jobs"
 	"cpr/internal/server"
+	"cpr/internal/telemetry"
 )
 
 func main() {
@@ -42,15 +47,20 @@ func main() {
 		cacheCap     = flag.Int("cache-cap", 1024, "max cached results (LRU eviction)")
 		panelCap     = flag.Int("panel-cache-cap", 16384, "max cached per-panel artifacts (LRU eviction)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+		debugAddr    = flag.String("debug-addr", "", "private listen address for net/http/pprof (empty = disabled)")
+		traceJobs    = flag.Bool("trace-jobs", true, "record a span trace per executed job (GET /v1/jobs/{id}/trace)")
 		workers      = cliutil.Workers()
 	)
 	flag.Parse()
 
 	resultCache := jobs.NewResultCache(*cacheCap, *panelCap)
+	registry := telemetry.NewRegistry()
 	mgr := jobs.New(jobs.Config{
 		MaxConcurrent: *maxJobs,
 		QueueCap:      *queueCap,
 		JobTimeout:    *jobTimeout,
+		Metrics:       registry,
+		TraceJobs:     *traceJobs,
 		Run: func(ctx context.Context, d *design.Design, opts core.Options) (*core.RunResult, error) {
 			if opts.Workers == 0 {
 				opts.Workers = *workers
@@ -66,6 +76,23 @@ func main() {
 	}, resultCache)
 
 	srv := &http.Server{Addr: *addr, Handler: server.New(mgr).Handler()}
+
+	// The pprof listener is separate from the API address so profiling
+	// endpoints can stay on a private interface.
+	if *debugAddr != "" {
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("cprd: pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugMux); err != nil {
+				log.Printf("cprd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

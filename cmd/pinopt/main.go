@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"time"
@@ -40,15 +41,25 @@ func main() {
 		workers    = cliutil.Workers()
 		loadPath   = flag.String("load", "", "load the design from a cpr-design file (per-panel optimization)")
 		baseline   = cliutil.Baseline()
+		tracePath  = cliutil.Trace()
+		traceFmt   = cliutil.TraceFormat()
 	)
 	flag.Parse()
+
+	ctx, flushTrace, err := cliutil.StartTrace(context.Background(), *tracePath, *traceFmt)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *circuit != "" || *loadPath != "" {
 		d, err := loadOrSynth(*circuit, *loadPath)
 		if err != nil {
 			fatal(err)
 		}
-		runDesign(d, *workers, *baseline)
+		runDesign(ctx, d, *workers, *baseline)
+		if err := flushTrace(); err != nil {
+			fatal(fmt.Errorf("writing trace: %w", err))
+		}
 		return
 	}
 
@@ -107,7 +118,7 @@ func loadOrSynth(circuit, loadPath string) (*design.Design, error) {
 // baseline, that revision is optimized first into a shared panel cache,
 // so the main run reuses every panel the edit between the two revisions
 // cannot have affected; the reuse counts are reported.
-func runDesign(d *design.Design, workers int, baseline string) {
+func runDesign(ctx context.Context, d *design.Design, workers int, baseline string) {
 	opts := core.Options{Workers: workers}
 	if baseline != "" {
 		base, err := cliutil.ReadDesign(baseline)
@@ -116,11 +127,11 @@ func runDesign(d *design.Design, workers int, baseline string) {
 		}
 		pc := cache.New[*pipeline.PanelArtifact](0)
 		opts.PanelCache = pc
-		if _, _, err := core.OptimizePinAccess(base, opts); err != nil {
+		if _, _, err := core.OptimizePinAccessContext(ctx, base, opts); err != nil {
 			fatal(fmt.Errorf("baseline run: %w", err))
 		}
 	}
-	rep, _, err := core.OptimizePinAccess(d, opts)
+	rep, _, err := core.OptimizePinAccessContext(ctx, d, opts)
 	if err != nil {
 		fatal(err)
 	}

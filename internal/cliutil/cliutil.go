@@ -5,6 +5,7 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"cpr/internal/core"
 	"cpr/internal/design"
 	"cpr/internal/designio"
+	"cpr/internal/telemetry"
 )
 
 // AllCircuits is the canonical -circuits default covering every Table 2
@@ -81,6 +83,53 @@ func ParseOptimizer(s string) (core.Optimizer, error) {
 	default:
 		return 0, fmt.Errorf("unknown -optimizer %q (want lr, ilp)", s)
 	}
+}
+
+// Trace registers the canonical -trace flag: a file the run's span
+// trace is written to. Tracing is strictly observational — results are
+// byte-identical with or without it.
+func Trace() *string {
+	return flag.String("trace", "",
+		"write the run's pipeline span trace to this file (results are identical with tracing on or off)")
+}
+
+// TraceFormat registers the canonical -trace-format flag.
+func TraceFormat() *string {
+	return flag.String("trace-format", "chrome",
+		"trace encoding: chrome (trace_event JSON for chrome://tracing / Perfetto) or json (raw span records)")
+}
+
+// StartTrace attaches a fresh tracer to ctx when path is non-empty and
+// returns a flush function that writes the collected trace to path in
+// the given format ("chrome" or "json"; "" means chrome). With an empty
+// path ctx passes through and the flush is a no-op.
+func StartTrace(ctx context.Context, path, format string) (context.Context, func() error, error) {
+	if path == "" {
+		return ctx, func() error { return nil }, nil
+	}
+	switch format {
+	case "", "chrome", "json":
+	default:
+		return ctx, nil, fmt.Errorf("unknown -trace-format %q (want chrome, json)", format)
+	}
+	tr := telemetry.New()
+	ctx = telemetry.WithTracer(ctx, tr)
+	flush := func() error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if format == "json" {
+			err = tr.WriteJSON(f, telemetry.ExportOptions{})
+		} else {
+			err = tr.WriteChromeTrace(f, telemetry.ExportOptions{})
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return ctx, flush, nil
 }
 
 // Baseline registers the canonical -baseline flag: a cpr-design file of

@@ -72,8 +72,7 @@ func TestRunContextNeverCanceledMatchesRun(t *testing.T) {
 		t.Fatalf("RunContext: %v", err)
 	}
 
-	bm, gm := base.Metrics, got.Metrics
-	bm.CPUSeconds, gm.CPUSeconds = 0, 0
+	bm, gm := base.Metrics.ZeroTimes(), got.Metrics.ZeroTimes()
 	if !reflect.DeepEqual(bm, gm) {
 		t.Errorf("metrics diverged:\n Run        %+v\n RunContext %+v", bm, gm)
 	}

@@ -34,6 +34,7 @@ import (
 	"cpr/internal/pinaccess"
 	"cpr/internal/pipeline"
 	"cpr/internal/router"
+	"cpr/internal/telemetry"
 )
 
 // Mode selects the routing flow.
@@ -271,6 +272,9 @@ func RerunContext(ctx context.Context, prev *RunResult, edited *design.Design, o
 
 // runFlow executes the selected flow, optionally splicing per-panel
 // artifacts from a previous run (prevArts keyed by panel content key).
+// A telemetry tracer/registry in ctx records the run/pinopt/route span
+// tree and stage metrics; telemetry is strictly observational (§4e), so
+// results are byte-identical with it on or off.
 func runFlow(ctx context.Context, d *design.Design, opts Options, prevArts map[string]*pipeline.PanelArtifact) (*RunResult, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -278,6 +282,15 @@ func runFlow(ctx context.Context, d *design.Design, opts Options, prevArts map[s
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	reg := telemetry.RegistryFrom(ctx)
+	ctx, runSpan := telemetry.StartSpan(ctx, "run")
+	defer runSpan.End()
+	runSpan.SetAttr("mode", opts.Mode.String())
+	runSpan.SetAttr("nets", len(d.Nets))
+	runSpan.SetAttr("pins", len(d.Pins))
+	reg.Counter("cpr_runs_total", "Completed flow runs by mode.",
+		telemetry.L("mode", opts.Mode.String())).Inc()
+
 	g := grid.New(d)
 	r := router.New(d, g, opts.Router)
 	res := &RunResult{Mode: opts.Mode}
@@ -297,9 +310,9 @@ func runFlow(ctx context.Context, d *design.Design, opts Options, prevArts map[s
 		for _, s := range seeds {
 			r.SeedAssignment(s.Set, s.Solution)
 		}
-		res.Router = r.Run()
+		res.Router = runRouter(ctx, r, res)
 	case ModeNoPinOpt:
-		res.Router = r.Run()
+		res.Router = runRouter(ctx, r, res)
 	case ModeSequential:
 		res.Router = r.RunSequential(opts.Sequential)
 	default:
@@ -312,8 +325,30 @@ func runFlow(ctx context.Context, d *design.Design, opts Options, prevArts map[s
 	res.Metrics = metrics.FromResult(d, res.Router)
 	if res.PinOpt != nil {
 		res.Metrics.CPUSeconds += res.PinOpt.Elapsed.Seconds()
+		res.Metrics.OptimizeSeconds = res.PinOpt.Elapsed.Seconds()
 	}
+	runSpan.SetAttr("routed_nets", res.Router.RoutedNets)
 	return res, nil
+}
+
+// runRouter wraps the negotiation router in a "route" span and records
+// its stage durations (reusing the router's own suppressed wall-clock
+// measurements — no new clock reads in this determinism-restricted
+// package).
+func runRouter(ctx context.Context, r *router.Router, res *RunResult) *router.Result {
+	rctx, span := telemetry.StartSpan(ctx, "route")
+	rres := r.RunCtx(rctx)
+	span.SetAttr("routed_nets", rres.RoutedNets)
+	span.SetAttr("vias", rres.Vias)
+	span.SetAttr("wirelength", rres.Wirelength)
+	span.SetAttr("negotiation_iters", rres.NegotiationIters)
+	span.End()
+	if reg := telemetry.RegistryFrom(ctx); reg != nil {
+		reg.Histogram("cpr_stage_seconds", "Wall-clock time per pipeline stage.",
+			telemetry.DefSecondsBuckets, telemetry.L("stage", "route")).
+			Observe(rres.Elapsed.Seconds())
+	}
+	return rres
 }
 
 // PanelSeed couples one panel's interval set with its assignment for
@@ -366,6 +401,12 @@ func optimizePanels(ctx context.Context, d *design.Design, opts Options, prevArt
 	// the worker budget.
 	outer, inner := panelWorkerSplit(opts.workers(), len(panels))
 
+	reg := telemetry.RegistryFrom(ctx)
+	ctx, poSpan := telemetry.StartSpan(ctx, "pinopt")
+	poSpan.SetAttr("panels", len(panels))
+	poSpan.SetAttr("outer_workers", outer)
+	poSpan.SetAttr("inner_workers", inner)
+
 	type outcome struct {
 		art    *pipeline.PanelArtifact
 		reused bool
@@ -373,6 +414,12 @@ func optimizePanels(ctx context.Context, d *design.Design, opts Options, prevArt
 	}
 	results := make([]outcome, len(panels))
 	solve := func(slot, panel int) {
+		// Lanes are keyed by slot, not scheduling order, so the trace
+		// layout is deterministic for every worker count.
+		pctx, sp := telemetry.StartSpan(ctx, "panel")
+		defer sp.End()
+		sp.SetLane(slot + 1)
+		sp.SetAttr("panel", panel)
 		if err := ctx.Err(); err != nil {
 			results[slot].err = fmt.Errorf("core: panel %d: %w", panel, err)
 			return
@@ -380,6 +427,7 @@ func optimizePanels(ctx context.Context, d *design.Design, opts Options, prevArt
 		var key string
 		if cacheable {
 			key = pipeline.PanelKeyFor(d, idx, panel, cfg)
+			sp.SetAttr("key", key)
 			// The cache is consulted before the previous run's artifacts
 			// so its hit counters account for every reused panel (the
 			// daemon's panel-level hit rate); equal keys address identical
@@ -387,6 +435,10 @@ func optimizePanels(ctx context.Context, d *design.Design, opts Options, prevArt
 			if opts.PanelCache != nil {
 				if art, ok := opts.PanelCache.Get(key); ok {
 					results[slot] = outcome{art: art, reused: true}
+					sp.SetAttr("reused", true)
+					sp.SetAttr("source", "cache")
+					reg.Counter("cpr_panels_total", "Panels processed by artifact source.",
+						telemetry.L("source", "cache")).Inc()
 					return
 				}
 			}
@@ -395,10 +447,14 @@ func optimizePanels(ctx context.Context, d *design.Design, opts Options, prevArt
 				if opts.PanelCache != nil {
 					opts.PanelCache.Put(key, art)
 				}
+				sp.SetAttr("reused", true)
+				sp.SetAttr("source", "prev")
+				reg.Counter("cpr_panels_total", "Panels processed by artifact source.",
+					telemetry.L("source", "prev")).Inc()
 				return
 			}
 		}
-		art, err := pipeline.SolvePanel(ctx, d, idx, panel, d.PinsInPanel(panel), cfg, inner)
+		art, err := pipeline.SolvePanel(pctx, d, idx, panel, d.PinsInPanel(panel), cfg, inner)
 		if err != nil {
 			results[slot].err = fmt.Errorf("core: panel %d: %w", panel, err)
 			return
@@ -407,6 +463,15 @@ func optimizePanels(ctx context.Context, d *design.Design, opts Options, prevArt
 			opts.PanelCache.Put(key, art)
 		}
 		results[slot] = outcome{art: art}
+		sp.SetAttr("reused", false)
+		sp.SetAttr("source", "computed")
+		sp.SetAttr("pins", len(art.Intervals.Set.PinIDs))
+		sp.SetAttr("intervals", len(art.Intervals.Set.Intervals))
+		sp.SetAttr("conflicts", art.NumConflicts)
+		sp.SetAttr("objective", art.Assignment.Solution.Objective)
+		sp.SetAttr("converged", art.Assignment.Converged)
+		reg.Counter("cpr_panels_total", "Panels processed by artifact source.",
+			telemetry.L("source", "computed")).Inc()
 	}
 
 	// Per-slot writes plus the ordered reduce below keep the report and
@@ -457,5 +522,16 @@ func optimizePanels(ctx context.Context, d *design.Design, opts Options, prevArt
 		}
 	}
 	report.Elapsed = time.Since(start) //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
+	poSpan.SetAttr("total_pins", report.TotalPins)
+	poSpan.SetAttr("total_intervals", report.TotalIntervals)
+	poSpan.SetAttr("total_conflicts", report.TotalConflicts)
+	poSpan.SetAttr("objective", report.Objective)
+	if inc != nil {
+		poSpan.SetAttr("reused", inc.Reused)
+	}
+	poSpan.End()
+	reg.Histogram("cpr_stage_seconds", "Wall-clock time per pipeline stage.",
+		telemetry.DefSecondsBuckets, telemetry.L("stage", "pinopt")).
+		Observe(report.Elapsed.Seconds())
 	return report, seeds, arts, inc, nil
 }

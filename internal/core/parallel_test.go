@@ -114,8 +114,7 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
-				m := res.Metrics
-				m.CPUSeconds = 0
+				m := res.Metrics.ZeroTimes()
 				cur := canonMetrics{m: m, routed: res.Metrics.RoutedNets}
 				if res.PinOpt != nil {
 					cur.pinOpt = reportFingerprint(res.PinOpt)

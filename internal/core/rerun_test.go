@@ -41,8 +41,7 @@ func dumpRunResult(t *testing.T, d *design.Design, res *RunResult) []byte {
 		fmt.Fprintf(&b, "net %d routed=%v fail=%q nodes %v edges %v virtual %v\n",
 			netID, nr.Routed, nr.FailReason, nr.Nodes, nr.Edges, nr.Virtual)
 	}
-	m := res.Metrics
-	m.CPUSeconds = 0
+	m := res.Metrics.ZeroTimes()
 	fmt.Fprintf(&b, "metrics %+v\n", m)
 	return b.Bytes()
 }

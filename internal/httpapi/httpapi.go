@@ -113,13 +113,17 @@ type Job struct {
 
 // Stats is the body of GET /v1/stats.
 type Stats struct {
-	QueueDepth   int              `json:"queue_depth"`
-	QueueCap     int              `json:"queue_cap"`
-	Running      int              `json:"running"`
-	Draining     bool             `json:"draining"`
-	ByState      map[string]int64 `json:"jobs_by_state"`
-	Cache        cache.Stats      `json:"cache"`
-	CacheHitRate float64          `json:"cache_hit_rate"`
+	QueueDepth int              `json:"queue_depth"`
+	QueueCap   int              `json:"queue_cap"`
+	Running    int              `json:"running"`
+	Draining   bool             `json:"draining"`
+	ByState    map[string]int64 `json:"jobs_by_state"`
+	// RejectedQueueFull counts submissions refused with 429 (queue at
+	// capacity); RejectedDraining counts 503s after drain started.
+	RejectedQueueFull int64       `json:"rejected_queue_full"`
+	RejectedDraining  int64       `json:"rejected_draining"`
+	Cache             cache.Stats `json:"cache"`
+	CacheHitRate      float64     `json:"cache_hit_rate"`
 	// PanelCache counts per-panel artifact reuse: the incremental hit
 	// rate harvested by design-level misses.
 	PanelCache        cache.Stats                `json:"panel_cache"`

@@ -20,6 +20,7 @@ import (
 	"cpr/internal/design"
 	"cpr/internal/designio"
 	"cpr/internal/pipeline"
+	"cpr/internal/telemetry"
 )
 
 // ResultCache is the daemon's two-level cache: whole-design results at
@@ -113,6 +114,18 @@ type Config struct {
 	// Rerun overrides the incremental job executor (tests only; default
 	// core.RerunContext).
 	Rerun RerunFunc
+	// Metrics, when non-nil, receives the manager's operational metrics
+	// (queue depth, queue-wait and run latencies, rejected submissions,
+	// cache hit/miss/evict) and is threaded into every job's run context
+	// so the pipeline's stage metrics land in the same registry.
+	// Telemetry is strictly observational: results are byte-identical
+	// with or without it.
+	Metrics *telemetry.Registry
+	// TraceJobs, when set, gives every executed job its own span tracer,
+	// retrievable via Job.Tracer (the daemon serves it as
+	// GET /v1/jobs/{id}/trace). Cache-served jobs never ran, so they
+	// have no trace.
+	TraceJobs bool
 }
 
 func (c Config) withDefaults() Config {
@@ -158,11 +171,21 @@ type Job struct {
 	cached    bool
 	result    *core.RunResult
 	errMsg    string
+	tracer    *telemetry.Tracer
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
 
 	done chan struct{}
+}
+
+// Tracer returns the job's span tracer, or nil when the manager was not
+// configured with TraceJobs or the job never ran (cache hits, jobs
+// failed before starting).
+func (j *Job) Tracer() *telemetry.Tracer {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tracer
 }
 
 // Snapshot is a race-free copy of a job's observable state.
@@ -276,13 +299,19 @@ type StageStats struct {
 
 // Stats is a point-in-time view of the manager for /v1/stats.
 type Stats struct {
-	QueueDepth   int              `json:"queue_depth"`
-	QueueCap     int              `json:"queue_cap"`
-	Running      int              `json:"running"`
-	Draining     bool             `json:"draining"`
-	ByState      map[string]int64 `json:"jobs_by_state"`
-	Cache        cache.Stats      `json:"cache"`
-	CacheHitRate float64          `json:"cache_hit_rate"`
+	QueueDepth int              `json:"queue_depth"`
+	QueueCap   int              `json:"queue_cap"`
+	Running    int              `json:"running"`
+	Draining   bool             `json:"draining"`
+	ByState    map[string]int64 `json:"jobs_by_state"`
+	// RejectedQueueFull counts submissions refused with ErrQueueFull
+	// (HTTP 429) since the manager started.
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	// RejectedDraining counts submissions refused with ErrDraining
+	// (HTTP 503).
+	RejectedDraining int64       `json:"rejected_draining"`
+	Cache            cache.Stats `json:"cache"`
+	CacheHitRate     float64     `json:"cache_hit_rate"`
 	// PanelCache counts per-panel artifact hits and misses: the
 	// incremental-reuse rate of design-level misses.
 	PanelCache        cache.Stats           `json:"panel_cache"`
@@ -298,17 +327,26 @@ type Manager struct {
 	queue   chan *Job
 	workers sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	finished []string        // finished job IDs, oldest first, for retention
-	inflight map[string]*Job // key -> queued/running job, for coalescing
-	cancels  map[string]context.CancelFunc
-	counts   map[State]int64
-	stages   map[string]*stageAgg
-	running  int
-	seq      int64
-	draining bool
-	hardStop bool
+	mu            sync.Mutex
+	jobs          map[string]*Job
+	finished      []string        // finished job IDs, oldest first, for retention
+	inflight      map[string]*Job // key -> queued/running job, for coalescing
+	cancels       map[string]context.CancelFunc
+	counts        map[State]int64
+	stages        map[string]*stageAgg
+	rejectedFull  int64
+	rejectedDrain int64
+	running       int
+	seq           int64
+	draining      bool
+	hardStop      bool
+
+	// Pre-registered instruments (nil without Config.Metrics; nil
+	// instruments no-op).
+	mQueueWait    *telemetry.Histogram
+	mRunTime      *telemetry.Histogram
+	mRejectedFull *telemetry.Counter
+	mRejectedDrn  *telemetry.Counter
 }
 
 // New creates a manager and starts its worker goroutines. The cache may
@@ -328,11 +366,69 @@ func New(cfg Config, c *ResultCache) *Manager {
 		counts:   make(map[State]int64),
 		stages:   make(map[string]*stageAgg),
 	}
+	m.registerMetrics(c)
 	m.workers.Add(cfg.MaxConcurrent)
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		go m.worker()
 	}
 	return m
+}
+
+// registerMetrics wires the manager's operational metrics into the
+// configured registry: live gauges read manager state at scrape time,
+// cache counters bridge the cache's own counters, and the latency
+// histograms are pre-registered so the hot finish path only observes.
+func (m *Manager) registerMetrics(c *ResultCache) {
+	reg := m.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	m.mQueueWait = reg.Histogram("cprd_job_queue_wait_seconds",
+		"Time jobs spent queued before a worker picked them up.", telemetry.DefSecondsBuckets)
+	m.mRunTime = reg.Histogram("cprd_job_run_seconds",
+		"Wall-clock job execution time.", telemetry.DefSecondsBuckets)
+	m.mRejectedFull = reg.Counter("cprd_jobs_rejected_total",
+		"Submissions refused by the manager.", telemetry.L("reason", "queue_full"))
+	m.mRejectedDrn = reg.Counter("cprd_jobs_rejected_total",
+		"Submissions refused by the manager.", telemetry.L("reason", "draining"))
+	reg.GaugeFunc("cprd_queue_depth", "Jobs waiting in the FIFO queue.",
+		func() float64 { return float64(len(m.queue)) })
+	reg.GaugeFunc("cprd_running_jobs", "Jobs currently executing.",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.running)
+		})
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed} {
+		st := st
+		reg.GaugeFunc("cprd_jobs_by_state", "Jobs per lifecycle state.",
+			func() float64 {
+				m.mu.Lock()
+				defer m.mu.Unlock()
+				return float64(m.counts[st])
+			}, telemetry.L("state", st.String()))
+	}
+	if c == nil {
+		return
+	}
+	levels := []struct {
+		name  string
+		stats func() cache.Stats
+	}{
+		{"design", func() cache.Stats { return c.Design.Stats() }},
+		{"panel", func() cache.Stats { return c.Panel.Stats() }},
+	}
+	for _, lv := range levels {
+		lv := lv
+		reg.CounterFunc("cprd_cache_hits_total", "Cache hits by level.",
+			func() float64 { return float64(lv.stats().Hits) }, telemetry.L("level", lv.name))
+		reg.CounterFunc("cprd_cache_misses_total", "Cache misses by level.",
+			func() float64 { return float64(lv.stats().Misses) }, telemetry.L("level", lv.name))
+		reg.CounterFunc("cprd_cache_evictions_total", "Cache evictions by level.",
+			func() float64 { return float64(lv.stats().Evictions) }, telemetry.L("level", lv.name))
+		reg.GaugeFunc("cprd_cache_entries", "Live cache entries by level.",
+			func() float64 { return float64(lv.stats().Entries) }, telemetry.L("level", lv.name))
+	}
 }
 
 // Submit registers one optimization request. The fast paths never touch
@@ -389,6 +485,8 @@ func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID stri
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
+		m.rejectedDrain++
+		m.mRejectedDrn.Inc()
 		return nil, ErrDraining
 	}
 	if cacheable && m.cache != nil {
@@ -413,6 +511,8 @@ func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID stri
 		}
 	}
 	if len(m.queue) >= m.cfg.QueueCap {
+		m.rejectedFull++
+		m.mRejectedFull.Inc()
 		return nil, ErrQueueFull
 	}
 	job := m.newJobLocked(key, d, opts)
@@ -430,6 +530,8 @@ func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID stri
 		delete(m.jobs, job.ID)
 		delete(m.inflight, key)
 		m.counts[StateQueued]--
+		m.rejectedFull++
+		m.mRejectedFull.Inc()
 		return nil, ErrQueueFull
 	}
 	return job, nil
@@ -461,6 +563,10 @@ func (m *Manager) retainLocked(id string) {
 		delete(m.jobs, old)
 	}
 }
+
+// Metrics returns the registry the manager was configured with, or nil.
+// The daemon serves it at GET /metrics.
+func (m *Manager) Metrics() *telemetry.Registry { return m.cfg.Metrics }
 
 // Get returns a job by ID.
 func (m *Manager) Get(id string) (*Job, bool) {
@@ -526,6 +632,20 @@ func (m *Manager) execute(job *Job) {
 	if job.Key != "" && m.cache != nil {
 		opts.PanelCache = m.cache.Panel
 	}
+
+	// Thread telemetry into the run context. Strictly observational: the
+	// core pipeline's §4e contract keeps results byte-identical with or
+	// without it, so neither knob reaches any cache key.
+	if m.cfg.TraceJobs {
+		tr := telemetry.New()
+		job.mu.Lock()
+		job.tracer = tr
+		job.mu.Unlock()
+		ctx = telemetry.WithTracer(ctx, tr)
+	}
+	if m.cfg.Metrics != nil {
+		ctx = telemetry.WithRegistry(ctx, m.cfg.Metrics)
+	}
 	var (
 		res *core.RunResult
 		err error
@@ -576,6 +696,10 @@ func (m *Manager) finish(job *Job, queueWait, runTime time.Duration, res *core.R
 	if ran {
 		m.stageLocked("run").add(runTime)
 	}
+	m.mQueueWait.Observe(queueWait.Seconds())
+	if ran {
+		m.mRunTime.Observe(runTime.Seconds())
+	}
 	if res != nil && res.PinOpt != nil {
 		m.stageLocked("pinopt").add(res.PinOpt.Elapsed)
 	}
@@ -599,12 +723,14 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := Stats{
-		QueueDepth: len(m.queue),
-		QueueCap:   m.cfg.QueueCap,
-		Running:    m.running,
-		Draining:   m.draining,
-		ByState:    make(map[string]int64, len(m.counts)),
-		Stages:     make(map[string]StageStats, len(m.stages)),
+		QueueDepth:        len(m.queue),
+		QueueCap:          m.cfg.QueueCap,
+		Running:           m.running,
+		Draining:          m.draining,
+		RejectedQueueFull: m.rejectedFull,
+		RejectedDraining:  m.rejectedDrain,
+		ByState:           make(map[string]int64, len(m.counts)),
+		Stages:            make(map[string]StageStats, len(m.stages)),
 	}
 	for s, n := range m.counts {
 		if n != 0 {

@@ -62,6 +62,34 @@ type Config struct {
 	// trajectory untouched, so results remain byte-identical to a run
 	// without it.
 	Stop func() bool
+	// Observer, when non-nil, receives one IterationStat per subgradient
+	// iteration — the convergence series behind trace spans and the
+	// Figure 6 style ablation plots. It is strictly observational: the
+	// callback sees copies of the iteration state and cannot influence
+	// the trajectory, so results are byte-identical with or without it,
+	// and it is excluded from every cache-key fingerprint. It runs on the
+	// solving goroutine; keep it cheap.
+	Observer func(IterationStat)
+}
+
+// IterationStat is one subgradient iteration's convergence snapshot.
+type IterationStat struct {
+	// Iteration is the 1-based iteration number k.
+	Iteration int `json:"iter"`
+	// Violations is the number of violated conflict sets in this
+	// iteration's selection (the "conflicts remaining" series).
+	Violations int `json:"violations"`
+	// BestViolations is the minimum violation count seen so far.
+	BestViolations int `json:"best_violations"`
+	// SelectedProfit is the raw profit of this iteration's selection —
+	// the primal value, a lower bound on the optimum once feasible.
+	SelectedProfit float64 `json:"profit"`
+	// DualValue is the Lagrangian function value of the selection under
+	// the iteration's multipliers (selected gains plus the multiplier
+	// sum) — the upper-bound side of the convergence gap. It is computed
+	// from the greedy subproblem solution, so it is an estimate of the
+	// true dual bound, matching what Algorithm 1 actually optimizes.
+	DualValue float64 `json:"dual"`
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +160,21 @@ func Solve(m *assign.Model, cfg Config) Result {
 			}
 		})
 		maxGains(m, gains, order, selected, cfg)
+		// The observer's dual value wants the multipliers the selection
+		// was made under, so the sums are taken before penalize mutates
+		// lambda. Reads only — the trajectory is untouched.
+		var obsProfit, obsDual float64
+		if cfg.Observer != nil {
+			for _, l := range lambda {
+				obsDual += l
+			}
+			for i, sel := range selected {
+				if sel {
+					obsProfit += m.Profits[i]
+					obsDual += gains[i]
+				}
+			}
+		}
 		var vio int
 		if setWorkers > 1 {
 			vio = penalizeParallel(m, selected, lambda, penalties, k, cfg, setWorkers, setDeltas, setCounts)
@@ -141,6 +184,15 @@ func Solve(m *assign.Model, cfg Config) Result {
 		if vio < minVio {
 			minVio = vio
 			best = append(best[:0], selected...)
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(IterationStat{
+				Iteration:      k,
+				Violations:     vio,
+				BestViolations: minVio,
+				SelectedProfit: obsProfit,
+				DualValue:      obsDual,
+			})
 		}
 	}
 	if best == nil {

@@ -63,8 +63,28 @@ func TestRowAndHeaderAlign(t *testing.T) {
 	m := FromResult(d, res)
 	row := m.Row()
 	head := Header()
-	if len(strings.Fields(row)) != 6 || len(strings.Fields(head)) != 6 {
+	if len(strings.Fields(row)) != 9 || len(strings.Fields(head)) != 9 {
 		t.Errorf("row/header field counts differ:\n%s\n%s", head, row)
+	}
+}
+
+func TestPhaseSplitFromStageElapsed(t *testing.T) {
+	d, _, res := routedDesign(t)
+	res.StageElapsed = [4]time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond,
+		300 * time.Millisecond, 400 * time.Millisecond,
+	}
+	m := FromResult(d, res)
+	if m.RouteSeconds != 0.6 {
+		t.Errorf("RouteSeconds = %g, want 0.6", m.RouteSeconds)
+	}
+	if m.VerifySeconds != 0.4 {
+		t.Errorf("VerifySeconds = %g, want 0.4", m.VerifySeconds)
+	}
+	// CPUSeconds keeps its historical meaning: total router wall clock,
+	// independent of the phase breakdown.
+	if m.CPUSeconds != res.Elapsed.Seconds() {
+		t.Errorf("CPUSeconds = %g, want %g", m.CPUSeconds, res.Elapsed.Seconds())
 	}
 }
 

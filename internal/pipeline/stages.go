@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"cpr/internal/assign"
 	"cpr/internal/cache"
@@ -11,6 +12,7 @@ import (
 	"cpr/internal/ilp"
 	"cpr/internal/lagrange"
 	"cpr/internal/pinaccess"
+	"cpr/internal/telemetry"
 )
 
 // SolverConfig carries the result-affecting knobs of the assignment
@@ -113,17 +115,28 @@ func ConflictStage(s *IntervalSet, cfg SolverConfig, workers int) *ConflictModel
 // configured solver, legality-checked (paper §3.3/§3.4). ctx cancels
 // between LR subgradient iterations; a context that never fires leaves
 // the artifact byte-identical to an uncancellable run.
+//
+// When the context carries a telemetry span, the LR solver's
+// per-iteration convergence series (conflicts remaining, best-so-far,
+// primal profit, dual value) is recorded onto it, so an ablation-style
+// convergence plot can be regenerated from any trace. The recording is
+// read-only: solver results are byte-identical with tracing on or off.
 func AssignStage(ctx context.Context, m *ConflictModel, cfg SolverConfig, workers int) (*Assignment, error) {
 	model := m.Model
+	sp := telemetry.SpanFrom(ctx)
 	if cfg.UseILP {
 		sol, res, err := model.SolveILP(cfg.ILP)
 		if err == nil {
 			if err := model.CheckLegal(sol); err != nil {
 				return nil, fmt.Errorf("pipeline: illegal ILP assignment: %w", err)
 			}
+			sp.SetAttr("solver", "ilp")
+			sp.SetAttr("ilp_nodes", res.Nodes)
+			sp.SetAttr("converged", res.Status == ilp.Optimal)
 			return &Assignment{Solution: sol, Converged: res.Status == ilp.Optimal}, nil
 		}
 		// Fall through to LR on solver limits.
+		sp.SetAttr("ilp_fallback", err.Error())
 	}
 	lrCfg := cfg.LR
 	if lrCfg.Workers == 0 {
@@ -132,6 +145,10 @@ func AssignStage(ctx context.Context, m *ConflictModel, cfg SolverConfig, worker
 	if lrCfg.Stop == nil && ctx.Done() != nil {
 		lrCfg.Stop = func() bool { return ctx.Err() != nil }
 	}
+	var series []lagrange.IterationStat
+	if sp != nil && lrCfg.Observer == nil {
+		lrCfg.Observer = func(st lagrange.IterationStat) { series = append(series, st) }
+	}
 	res := lagrange.Solve(model, lrCfg)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -139,21 +156,56 @@ func AssignStage(ctx context.Context, m *ConflictModel, cfg SolverConfig, worker
 	if err := model.CheckLegal(res.Solution); err != nil {
 		return nil, fmt.Errorf("pipeline: illegal assignment: %w", err)
 	}
+	sp.SetAttr("solver", "lr")
+	sp.SetAttr("lr_iterations", res.Iterations)
+	sp.SetAttr("converged", res.Converged)
+	if series != nil {
+		sp.SetAttr("lr_series", series)
+	}
 	return &Assignment{Solution: res.Solution, Converged: res.Converged}, nil
 }
 
 // SolvePanel runs the three stages for one panel end to end and bundles
-// the result as a keyed PanelArtifact.
+// the result as a keyed PanelArtifact. When the context carries a
+// telemetry tracer/registry each stage gets a child span and a
+// cpr_stage_seconds observation; with neither present the overhead is a
+// few nil checks.
 func SolvePanel(ctx context.Context, d *design.Design, idx *design.TrackIndex, panel int, pinIDs []int, cfg SolverConfig, workers int) (*PanelArtifact, error) {
+	reg := telemetry.RegistryFrom(ctx)
+	observe := func(stage string, start time.Time) {
+		reg.Histogram("cpr_stage_seconds", "Wall-clock time per pipeline stage.",
+			telemetry.DefSecondsBuckets, telemetry.L("stage", stage)).
+			Observe(time.Since(start).Seconds())
+	}
+
+	_, genSpan := telemetry.StartSpan(ctx, "generate")
+	genStart := time.Now()
 	set, err := GenerateStage(d, idx, pinIDs, workers)
 	if err != nil {
+		genSpan.End()
 		return nil, err
 	}
+	genSpan.SetAttr("pins", len(pinIDs))
+	genSpan.SetAttr("intervals", len(set.Set.Intervals))
+	genSpan.End()
+	observe("generate", genStart)
+
+	_, confSpan := telemetry.StartSpan(ctx, "conflicts")
+	confStart := time.Now()
 	model := ConflictStage(set, cfg, workers)
-	sol, err := AssignStage(ctx, model, cfg, workers)
+	confSpan.SetAttr("conflict_sets", len(model.Model.Conflicts.Sets))
+	confSpan.End()
+	observe("conflicts", confStart)
+
+	assignCtx, assignSpan := telemetry.StartSpan(ctx, "assign")
+	assignStart := time.Now()
+	sol, err := AssignStage(assignCtx, model, cfg, workers)
+	assignSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	observe("assign", assignStart)
+
 	return &PanelArtifact{
 		Panel:        panel,
 		Key:          PanelKeyFor(d, idx, panel, cfg),

@@ -16,6 +16,7 @@
 package router
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"cpr/internal/grid"
 	"cpr/internal/pinaccess"
 	"cpr/internal/tech"
+	"cpr/internal/telemetry"
 )
 
 // NetOrder selects the order nets are (re)routed in.
@@ -234,6 +236,16 @@ func (r *Router) SeedAssignment(set *pinaccess.Set, sol *assign.Solution) {
 
 // Run executes the full negotiation routing flow.
 func (r *Router) Run() *Result {
+	return r.RunCtx(context.Background())
+}
+
+// RunCtx executes the full negotiation routing flow. A telemetry tracer
+// or metrics registry carried by ctx adds per-stage spans, per-round
+// negotiation spans (overuse, rip-ups, present-cost factor) and router
+// metrics; telemetry is strictly observational, so the routing result is
+// byte-identical with or without it.
+func (r *Router) RunCtx(ctx context.Context) *Result {
+	reg := telemetry.RegistryFrom(ctx)
 	start := time.Now() //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
 	res := &Result{Routes: make([]*NetRoute, len(r.d.Nets))}
 	r.lastRoutes = res.Routes
@@ -243,6 +255,7 @@ func (r *Router) Run() *Result {
 	// Stage 1: independent routing. Congestion is visible at zero present
 	// penalty, so nets route as if alone (other nets' pins/intervals are
 	// still hard blockages).
+	_, indSpan := telemetry.StartSpan(ctx, "route:independent")
 	t0 := time.Now() //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
 	for _, netID := range order {
 		nr := r.routeNet(netID, 0, r.cfg.WindowMargin)
@@ -251,6 +264,9 @@ func (r *Router) Run() *Result {
 	}
 	res.InitialCongested = r.g.CongestedCount()
 	res.InitialCongestedByLayer = r.g.CongestedByLayer()
+	indSpan.SetAttr("nets", len(order))
+	indSpan.SetAttr("congested", res.InitialCongested)
+	indSpan.End()
 	res.StageElapsed[0] = time.Since(t0) //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
 	t0 = time.Now() //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
 
@@ -258,6 +274,7 @@ func (r *Router) Run() *Result {
 	// stops early once the overuse count stalls: the surviving conflicts
 	// are structural (e.g. physically incompatible line-ends) and are
 	// resolved by unrouting in stage 3.
+	negCtx, negSpan := telemetry.StartSpan(ctx, "route:negotiate")
 	presFac := r.cfg.PresentCostBase
 	bestOveruse := 1 << 30
 	stall := 0
@@ -276,35 +293,56 @@ func (r *Router) Run() *Result {
 			}
 		}
 		res.NegotiationIters = iter
+		_, iterSpan := telemetry.StartSpan(negCtx, "negotiate_round")
+		iterSpan.SetAttr("iter", iter)
+		iterSpan.SetAttr("overused", over)
+		iterSpan.SetAttr("pres_fac", presFac)
+		reg.Histogram("cpr_router_overused_nodes", "Overused grid nodes at the start of each negotiation round.",
+			telemetry.DefCountBuckets).Observe(float64(over))
 		r.chargeHistory()
 		margin := r.cfg.WindowMargin + r.cfg.WindowGrowth*iter
 		if margin > r.cfg.MaxWindowMargin {
 			margin = r.cfg.MaxWindowMargin
 		}
+		ripups := 0
 		for _, netID := range order {
 			nr := res.Routes[netID]
 			if nr.Routed && !r.usesOverused(nr) {
 				continue
 			}
 			r.release(nr)
+			ripups++
 			newRoute := r.routeNet(netID, presFac, margin)
 			res.Routes[netID] = newRoute
 			r.occupy(newRoute)
 		}
+		iterSpan.SetAttr("ripups", ripups)
+		iterSpan.End()
+		reg.Counter("cpr_router_ripups_total", "Nets ripped up and rerouted during negotiation.").Add(float64(ripups))
 		presFac *= r.cfg.PresentCostGrowth
 	}
+	negSpan.SetAttr("rounds", res.NegotiationIters)
+	negSpan.End()
+	reg.Histogram("cpr_router_negotiation_rounds", "Rip-up-and-reroute rounds per routing run.",
+		telemetry.DefCountBuckets).Observe(float64(res.NegotiationIters))
 	res.StageElapsed[1] = time.Since(t0) //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
 	t0 = time.Now() //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
 
 	// Stage 3: resolve residual congestion by unrouting offenders.
+	_, resSpan := telemetry.StartSpan(ctx, "route:resolve")
 	res.CongestionUnrouted = r.resolveCongestion(res.Routes)
+	resSpan.SetAttr("unrouted", res.CongestionUnrouted)
+	resSpan.End()
 	res.StageElapsed[2] = time.Since(t0) //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
 	t0 = time.Now() //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
 
 	// Stage 4: line-end extension and design rule check.
+	_, drcSpan := telemetry.StartSpan(ctx, "route:drc")
 	if !r.cfg.SkipDRC {
 		res.DRCUnrouted = r.enforceLineEndRules(res.Routes)
 	}
+	drcSpan.SetAttr("unrouted", res.DRCUnrouted)
+	drcSpan.End()
 	res.StageElapsed[3] = time.Since(t0) //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
 
 	for _, nr := range res.Routes {

@@ -1,11 +1,13 @@
 // Package server implements the cprd HTTP/JSON API on top of the jobs
 // manager and the content-addressed result cache:
 //
-//	POST /v1/jobs       submit a design (inline or synthesized from a spec)
-//	GET  /v1/jobs/{id}  job status / result / error
-//	GET  /v1/healthz    liveness and drain state
-//	GET  /v1/stats      queue depth, cache hit rate, per-stage latencies
-//	GET  /debug/vars    the same counters via expvar
+//	POST /v1/jobs             submit a design (inline or synthesized from a spec)
+//	GET  /v1/jobs/{id}        job status / result / error
+//	GET  /v1/jobs/{id}/trace  per-job span trace (Chrome trace_event or JSON)
+//	GET  /v1/healthz          liveness and drain state
+//	GET  /v1/stats            queue depth, cache hit rate, per-stage latencies
+//	GET  /metrics             Prometheus text exposition of the manager's registry
+//	GET  /debug/vars          the same counters via expvar
 //
 // Identical submissions are served from cache (no optimizer run) and
 // identical in-flight submissions coalesce onto one job. A submission
@@ -32,6 +34,7 @@ import (
 	"cpr/internal/httpapi"
 	"cpr/internal/jobs"
 	"cpr/internal/synth"
+	"cpr/internal/telemetry"
 )
 
 // maxRequestBytes bounds a submission body (designs are text; the
@@ -77,8 +80,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleGetTrace)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
 }
@@ -147,6 +152,43 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jobToWire(job.Snapshot()))
 }
 
+// handleGetTrace serves a finished (or running) job's span trace.
+// ?format=chrome (default) renders Chrome trace_event JSON loadable in
+// chrome://tracing or Perfetto; ?format=json renders the raw span
+// records. Jobs answered from cache never ran, so they have no trace.
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	tr := job.Tracer()
+	if tr == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no trace for job %q (tracing disabled, or the job was served from cache)", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "chrome":
+		_ = tr.WriteChromeTrace(w, telemetry.ExportOptions{})
+	case "json":
+		_ = tr.WriteJSON(w, telemetry.ExportOptions{})
+	default:
+		w.Header().Del("Content-Type")
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want chrome, json)", format))
+	}
+}
+
+// handleMetrics serves the manager's metrics registry in Prometheus text
+// exposition format. Without a configured registry the body is empty —
+// still a valid scrape.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.mgr.Metrics().WritePrometheus(w)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.mgr.Stats()
 	writeJSON(w, http.StatusOK, httpapi.Health{Status: "ok", Draining: st.Draining})
@@ -160,6 +202,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Running:           st.Running,
 		Draining:          st.Draining,
 		ByState:           st.ByState,
+		RejectedQueueFull: st.RejectedQueueFull,
+		RejectedDraining:  st.RejectedDraining,
 		Cache:             st.Cache,
 		CacheHitRate:      st.CacheHitRate,
 		PanelCache:        st.PanelCache,

@@ -393,7 +393,7 @@ func TestIncrementalSubmitWithBaseJob(t *testing.T) {
 	got, want := *final.Result, *coldJob.Result
 	got.Incremental, want.Incremental = nil, nil
 	got.PinOpt.ElapsedMS, want.PinOpt.ElapsedMS = 0, 0
-	got.Metrics.CPUSeconds, want.Metrics.CPUSeconds = 0, 0
+	got.Metrics, want.Metrics = got.Metrics.ZeroTimes(), want.Metrics.ZeroTimes()
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("incremental result differs from cold run:\n inc  %+v\n cold %+v", got, want)
 	}

@@ -1,0 +1,61 @@
+package telemetry
+
+import "context"
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+	registryKey
+)
+
+// WithTracer returns a context carrying the tracer. Instrumented code
+// retrieves it implicitly through StartSpan.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// WithRegistry returns a context carrying the metrics registry.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey, r)
+}
+
+// RegistryFrom returns the context's metrics registry, or nil (whose
+// instrument constructors return nil no-op instruments).
+func RegistryFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryKey).(*Registry)
+	return r
+}
+
+// SpanFrom returns the context's current span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpan opens a span named name under the context's current span
+// (root if none) and returns a derived context in which the new span is
+// current. Without a tracer in ctx it returns (ctx, nil) — and a nil
+// span's methods are all no-ops — so call sites need no telemetry
+// conditionals.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	sp := t.StartSpan(name, SpanFrom(ctx))
+	return context.WithValue(ctx, spanKey, sp), sp
+}

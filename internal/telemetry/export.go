@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// ExportOptions tunes trace serialization.
+type ExportOptions struct {
+	// ZeroTimes replaces every start timestamp and duration with zero, so
+	// golden tests can compare traces byte-for-byte across runs.
+	ZeroTimes bool
+}
+
+// jsonTrace is the top-level structure of the tracer's own JSON format.
+type jsonTrace struct {
+	Format string       `json:"format"`
+	Spans  []SpanRecord `json:"spans"`
+}
+
+// WriteJSON writes the tracer's own JSON format: a flat span list in
+// creation order with parent links, nanosecond offsets from the tracer
+// epoch, and ordered attributes. A nil tracer writes an empty trace.
+func (t *Tracer) WriteJSON(w io.Writer, opts ExportOptions) error {
+	spans := t.Snapshot()
+	if spans == nil {
+		spans = []SpanRecord{}
+	}
+	if opts.ZeroTimes {
+		for i := range spans {
+			spans[i].Start = 0
+			spans[i].Duration = 0
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonTrace{Format: "cpr-trace-v1", Spans: spans})
+}
+
+// chromeEvent is one Chrome trace_event entry. We emit only complete
+// ("X") events: one per span, with microsecond timestamps.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the Chrome trace_event JSON object form, loadable by
+// chrome://tracing and https://ui.perfetto.dev.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the span tree in Chrome trace_event format
+// (JSON object form with complete events). Span lanes map to thread IDs,
+// so concurrent per-panel solves render as parallel rows; attributes
+// become event args. Events are ordered by (timestamp, span ID) as the
+// format prescribes. A nil tracer writes an empty trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer, opts ExportOptions) error {
+	spans := t.Snapshot()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  "cpr",
+			Ph:   "X",
+			TS:   float64(sp.Start) / float64(time.Microsecond),
+			Dur:  float64(sp.Duration) / float64(time.Microsecond),
+			PID:  1,
+			TID:  sp.Lane,
+		}
+		if opts.ZeroTimes {
+			ev.TS, ev.Dur = 0, 0
+		}
+		if len(sp.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(sp.Attrs)+1)
+			for _, a := range sp.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		if ev.Args == nil {
+			ev.Args = map[string]any{}
+		}
+		ev.Args["span_id"] = sp.ID
+		if sp.ParentID != 0 {
+			ev.Args["parent_id"] = sp.ParentID
+		}
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		return events[i].Args["span_id"].(int) < events[j].Args["span_id"].(int)
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+

@@ -442,7 +442,7 @@ func BenchmarkIncrementalRerun(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	prev, err := core.Run(d, core.Options{})
+	prev, err := core.Run(d, core.Options{Workers: 8})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -450,24 +450,28 @@ func BenchmarkIncrementalRerun(b *testing.B) {
 
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := core.Run(edited, core.Options{})
+			res, err := core.Run(edited, core.Options{Workers: 8})
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ReportMetric(res.PinOpt.Objective, "objective")
 		}
 	})
-	b.Run("incremental", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			res, err := core.Rerun(prev, edited, core.Options{})
-			if err != nil {
-				b.Fatal(err)
+	for _, mode := range []core.RerunMode{core.RerunStrict, core.RerunEcoFast} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Rerun(prev, edited, core.Options{Workers: 8, RerunMode: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.PinOpt.Objective, "objective")
+				b.ReportMetric(float64(res.Incremental.Reused), "reusedPanels")
+				b.ReportMetric(float64(res.Incremental.NetsSpliced), "netsSpliced")
+				b.ReportMetric(float64(res.Incremental.NetsWarm), "netsWarm")
+				b.ReportMetric(float64(res.Incremental.NetsRerouted), "netsRerouted")
 			}
-			b.ReportMetric(res.PinOpt.Objective, "objective")
-			b.ReportMetric(float64(res.Incremental.Reused), "reusedPanels")
-			b.ReportMetric(float64(len(res.Incremental.Recomputed)), "recomputedPanels")
-		}
-	})
+		})
+	}
 }
 
 // BenchmarkIncrementalPinOpt isolates the optimization phase (the part

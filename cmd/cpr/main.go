@@ -43,6 +43,7 @@ func main() {
 		ilpTimeout = cliutil.ILPTimeout(30 * time.Second)
 		verbose    = flag.Bool("v", false, "print pin optimization and stage details")
 		baseline   = cliutil.Baseline()
+		rerunMode  = cliutil.RerunMode()
 		loadPath   = flag.String("load", "", "load the design from a cpr-design file instead of generating")
 		savePath   = flag.String("save", "", "write the design to a cpr-design file before routing")
 		svgPath    = flag.String("svg", "", "write the routed layout as SVG")
@@ -89,6 +90,9 @@ func main() {
 	if opts.Optimizer, err = cliutil.ParseOptimizer(*optimizer); err != nil {
 		fatal(err)
 	}
+	if opts.RerunMode, err = core.ParseRerunMode(*rerunMode); err != nil {
+		fatal(err)
+	}
 
 	var res *core.RunResult
 	if *baseline != "" {
@@ -131,6 +135,10 @@ func main() {
 	if inc := res.Incremental; inc != nil {
 		fmt.Printf("incremental: reused %d/%d panels, recomputed %d\n",
 			inc.Reused, inc.Panels, len(inc.Recomputed))
+		if inc.Regions > 0 {
+			fmt.Printf("incremental: spliced %d/%d regions (%d nets spliced, %d warm-started, %d rerouted)\n",
+				inc.RegionsSpliced, inc.Regions, inc.NetsSpliced, inc.NetsWarm, inc.NetsRerouted)
+		}
 	}
 	if *verbose {
 		fmt.Printf("initial congested grids: %d\n", res.Metrics.InitialCongested)

@@ -46,6 +46,7 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job execution deadline (0 = none)")
 		cacheCap     = flag.Int("cache-cap", 1024, "max cached results (LRU eviction)")
 		panelCap     = flag.Int("panel-cache-cap", 16384, "max cached per-panel artifacts (LRU eviction)")
+		routeCap     = flag.Int("route-cache-cap", 16384, "max cached per-region route bundles (LRU eviction)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 		debugAddr    = flag.String("debug-addr", "", "private listen address for net/http/pprof (empty = disabled)")
 		traceJobs    = flag.Bool("trace-jobs", true, "record a span trace per executed job (GET /v1/jobs/{id}/trace)")
@@ -53,7 +54,7 @@ func main() {
 	)
 	flag.Parse()
 
-	resultCache := jobs.NewResultCache(*cacheCap, *panelCap)
+	resultCache := jobs.NewResultCache(*cacheCap, *panelCap, *routeCap)
 	registry := telemetry.NewRegistry()
 	mgr := jobs.New(jobs.Config{
 		MaxConcurrent: *maxJobs,

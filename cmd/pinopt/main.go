@@ -41,6 +41,7 @@ func main() {
 		workers    = cliutil.Workers()
 		loadPath   = flag.String("load", "", "load the design from a cpr-design file (per-panel optimization)")
 		baseline   = cliutil.Baseline()
+		rerunMode  = cliutil.RerunMode()
 		tracePath  = cliutil.Trace()
 		traceFmt   = cliutil.TraceFormat()
 	)
@@ -48,6 +49,12 @@ func main() {
 
 	ctx, flushTrace, err := cliutil.StartTrace(context.Background(), *tracePath, *traceFmt)
 	if err != nil {
+		fatal(err)
+	}
+	// Pin optimization has no routing stage, so both rerun modes behave
+	// identically here; the flag is validated for script compatibility
+	// with cmd/cpr.
+	if _, err := core.ParseRerunMode(*rerunMode); err != nil {
 		fatal(err)
 	}
 

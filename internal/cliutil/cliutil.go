@@ -139,6 +139,16 @@ func Baseline() *string {
 		"cpr-design file of a previous revision; it is optimized first and the main design is rerun incrementally against it (identical results, only dirtied panels recomputed)")
 }
 
+// RerunMode registers the canonical -rerun-mode flag (parse with
+// core.ParseRerunMode). It selects the incremental-rerun contract used
+// together with -baseline: strict reruns are byte-identical to a cold
+// run, eco-fast reruns additionally warm-start dirtied nets from the
+// baseline's routes and are verified DRC-clean and objective-equal.
+func RerunMode() *string {
+	return flag.String("rerun-mode", "strict",
+		"incremental rerun contract with -baseline: strict (byte-identical to a cold run) or eco-fast (warm-starts dirtied nets; verified equivalent, route bytes may differ)")
+}
+
 // ReadDesign loads a cpr-design file.
 func ReadDesign(path string) (*design.Design, error) {
 	f, err := os.Open(path)

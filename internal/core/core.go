@@ -63,6 +63,45 @@ func (m Mode) String() string {
 	}
 }
 
+// RerunMode selects how much of a previous run an incremental Rerun may
+// reuse for routing (pin access artifacts are always spliced by content
+// key — that reuse is exact by construction).
+type RerunMode int
+
+const (
+	// RerunStrict (default) reuses routing only where it is provably
+	// byte-identical: whole regions whose route content keys are
+	// unchanged are spliced verbatim, everything else is re-routed cold.
+	// The result is byte-identical to a cold run of the edited design.
+	RerunStrict RerunMode = iota
+	// RerunEcoFast additionally warm-starts surviving nets of dirtied
+	// regions from their previous routes, so negotiation converges on the
+	// residual set only. The result may diverge byte-wise from a cold
+	// run, but it is verified DRC-clean (internal/verify.Check) and
+	// objective-equal; a rerun that fails verification falls back to a
+	// cold run automatically.
+	RerunEcoFast
+)
+
+func (m RerunMode) String() string {
+	if m == RerunEcoFast {
+		return "eco-fast"
+	}
+	return "strict"
+}
+
+// ParseRerunMode parses "strict" or "eco-fast".
+func ParseRerunMode(s string) (RerunMode, error) {
+	switch s {
+	case "", "strict":
+		return RerunStrict, nil
+	case "eco-fast":
+		return RerunEcoFast, nil
+	default:
+		return RerunStrict, fmt.Errorf("unknown rerun mode %q (want strict or eco-fast)", s)
+	}
+}
+
 // Optimizer selects the interval assignment solver for ModeCPR.
 type Optimizer int
 
@@ -88,6 +127,17 @@ func (o Optimizer) String() string {
 type PanelCache interface {
 	Get(key string) (*pipeline.PanelArtifact, bool)
 	Put(key string, a *pipeline.PanelArtifact)
+}
+
+// RouteCache is a region-level route artifact store the routing stage
+// consults before routing a region and updates after. Entries are
+// content-addressed (pipeline.RouteKeyFor) — equal keys address
+// byte-identical route bundles — so a cache can never change a result,
+// only skip re-routing. A *cache.Cache[*pipeline.RouteArtifact] satisfies
+// the interface.
+type RouteCache interface {
+	Get(key string) (*pipeline.RouteArtifact, bool)
+	Put(key string, a *pipeline.RouteArtifact)
 }
 
 // Options configures a run. Zero values give the paper's defaults
@@ -127,6 +177,16 @@ type Options struct {
 	// bytes, only wall clock), so it is excluded from cache-key
 	// fingerprints, like Workers.
 	PanelCache PanelCache
+	// RouteCache, when non-nil, is consulted for per-region route bundles
+	// before each region is routed and updated with recomputed ones.
+	// Content-addressed like PanelCache, and equally invisible in
+	// results.
+	RouteCache RouteCache
+	// RerunMode selects the routing reuse contract of Rerun: RerunStrict
+	// (default, byte-identical) or RerunEcoFast (verified DRC-clean and
+	// objective-equal). Ignored on cold runs, which have nothing to
+	// reuse.
+	RerunMode RerunMode
 }
 
 // workers resolves the effective worker count for a run.
@@ -207,6 +267,18 @@ type IncrementalStats struct {
 	Reused int
 	// Recomputed lists the recomputed (dirty) panel indices, ascending.
 	Recomputed []int
+
+	// Regions is the number of independent routing regions of the run.
+	Regions int
+	// RegionsSpliced counts regions whose route bundles were spliced
+	// verbatim (unchanged content keys).
+	RegionsSpliced int
+	// NetsSpliced counts nets inside spliced regions.
+	NetsSpliced int
+	// NetsWarm counts nets warm-started from previous routes (eco-fast).
+	NetsWarm int
+	// NetsRerouted counts nets routed from scratch.
+	NetsRerouted int
 }
 
 // RunResult is the complete outcome of a flow run.
@@ -237,7 +309,7 @@ func Run(d *design.Design, opts Options) (*RunResult, error) {
 // returns an error wrapping ctx.Err(). A context that never fires
 // leaves the computation byte-identical to Run.
 func RunContext(ctx context.Context, d *design.Design, opts Options) (*RunResult, error) {
-	return runFlow(ctx, d, opts, nil)
+	return runFlow(ctx, d, opts, reuseInputs{})
 }
 
 // Rerun is the incremental (ECO) entry point: it re-optimizes an edited
@@ -260,22 +332,31 @@ func Rerun(prev *RunResult, edited *design.Design, opts Options) (*RunResult, er
 
 // RerunContext is Rerun with cancellation (see RunContext).
 func RerunContext(ctx context.Context, prev *RunResult, edited *design.Design, opts Options) (*RunResult, error) {
-	var prevArts map[string]*pipeline.PanelArtifact
+	var reuse reuseInputs
 	if prev != nil && prev.Artifacts != nil && opts.Mode == ModeCPR {
 		cfg := solverConfig(opts)
 		if cfg.Cacheable() && prev.Artifacts.Fingerprint == cfg.Fingerprint() {
-			prevArts = prev.Artifacts.ByKey()
+			reuse.panels = prev.Artifacts.ByKey()
+		}
+		// Routing reuse requires an unchanged router fingerprint; the
+		// region content keys carry the rest of the invalidation burden.
+		if prev.Artifacts.RouterFingerprint != "" &&
+			prev.Artifacts.RouterFingerprint == pipeline.RouterFingerprint(opts.Router) {
+			reuse.routes = prev.Artifacts.ByRouteKey()
+			if opts.RerunMode == RerunEcoFast {
+				reuse.warm = prev.Artifacts.WarmIndex()
+			}
 		}
 	}
-	return runFlow(ctx, edited, opts, prevArts)
+	return runFlow(ctx, edited, opts, reuse)
 }
 
-// runFlow executes the selected flow, optionally splicing per-panel
-// artifacts from a previous run (prevArts keyed by panel content key).
+// runFlow executes the selected flow, optionally splicing per-panel and
+// per-region artifacts from a previous run (reuse, keyed by content).
 // A telemetry tracer/registry in ctx records the run/pinopt/route span
 // tree and stage metrics; telemetry is strictly observational (§4e), so
 // results are byte-identical with it on or off.
-func runFlow(ctx context.Context, d *design.Design, opts Options, prevArts map[string]*pipeline.PanelArtifact) (*RunResult, error) {
+func runFlow(ctx context.Context, d *design.Design, opts Options, reuse reuseInputs) (*RunResult, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -292,12 +373,16 @@ func runFlow(ctx context.Context, d *design.Design, opts Options, prevArts map[s
 		telemetry.L("mode", opts.Mode.String())).Inc()
 
 	g := grid.New(d)
-	r := router.New(d, g, opts.Router)
+	rcfg := opts.Router
+	if rcfg.Workers == 0 {
+		rcfg.Workers = opts.workers()
+	}
+	r := router.New(d, g, rcfg)
 	res := &RunResult{Mode: opts.Mode}
 
 	switch opts.Mode {
 	case ModeCPR:
-		report, seeds, arts, inc, err := optimizePanels(ctx, d, opts, prevArts)
+		report, seeds, arts, inc, err := optimizePanels(ctx, d, opts, reuse.panels)
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +395,7 @@ func runFlow(ctx context.Context, d *design.Design, opts Options, prevArts map[s
 		for _, s := range seeds {
 			r.SeedAssignment(s.Set, s.Solution)
 		}
-		res.Router = runRouter(ctx, r, res)
+		res.Router = routeIncremental(ctx, d, g, opts, r, seeds, reuse, res)
 	case ModeNoPinOpt:
 		res.Router = runRouter(ctx, r, res)
 	case ModeSequential:

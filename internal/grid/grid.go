@@ -204,6 +204,10 @@ func (g *Graph) Occupancy(id NodeID) int { return int(g.occ[id]) }
 // Overused reports whether more than one net uses the node.
 func (g *Graph) Overused(id NodeID) bool { return g.occ[id] > 1 }
 
+// MetalCongested reports whether the node's metal is claimed by more than
+// one net (the per-node form of CongestedCount, for region-local scans).
+func (g *Graph) MetalCongested(id NodeID) bool { return g.occMetal[id] > 1 }
+
 // CongestedCount returns the number of nodes whose metal is claimed by
 // more than one net (the paper's "congested routing grids", Figure 7(b)).
 func (g *Graph) CongestedCount() int {

@@ -21,10 +21,12 @@ type SubmitRequest struct {
 	// (ModeCPR with LR optimization).
 	Options *Options `json:"options,omitempty"`
 	// BaseJob names a finished job to rerun against incrementally: only
-	// the panels the edit dirtied are recomputed, the rest are spliced
-	// from the base's artifacts. The result is byte-identical to a cold
-	// run of the same design, so the baseline affects wall clock only.
-	// An unknown or unfinished base job is a 400.
+	// the panels and routing regions the edit dirtied are recomputed, the
+	// rest are spliced from the base's artifacts. In the default "strict"
+	// rerun mode the result is byte-identical to a cold run of the same
+	// design, so the baseline affects wall clock only; see
+	// Options.RerunMode for the faster "eco-fast" contract. An unknown or
+	// unfinished base job is a 400.
 	BaseJob string `json:"base_job,omitempty"`
 	// Wait blocks the request until the job is terminal (bounded by the
 	// server's job timeout and the client's request context) and
@@ -62,6 +64,12 @@ type Options struct {
 	ILPMaxNodes int `json:"ilp_max_nodes,omitempty"`
 	// MaxNegotiationIters overrides the router's rip-up bound.
 	MaxNegotiationIters int `json:"max_negotiation_iters,omitempty"`
+	// RerunMode selects the incremental-rerun contract for submissions
+	// with a base_job: "strict" (default; byte-identical to a cold run)
+	// or "eco-fast" (warm-starts dirtied nets from the base's routes;
+	// verified DRC-clean and objective-equal, but route bytes may
+	// differ). Without a base_job both behave identically.
+	RerunMode string `json:"rerun_mode,omitempty"`
 }
 
 // PinOptSummary condenses a core.PinOptReport for the wire.
@@ -75,12 +83,24 @@ type PinOptSummary struct {
 }
 
 // IncrementalSummary reports how much of a run was spliced from reuse
-// (a base job's artifacts or the panel cache). Provenance only: results
-// are byte-identical however much was reused.
+// (a base job's artifacts or the panel/route caches). Provenance only:
+// in strict mode results are byte-identical however much was reused,
+// and eco-fast results are verified equivalent.
 type IncrementalSummary struct {
 	Panels     int   `json:"panels"`
 	Reused     int   `json:"reused"`
 	Recomputed []int `json:"recomputed,omitempty"`
+	// Regions is the number of routing regions the design partitioned
+	// into; RegionsSpliced of them were reused byte-identically from the
+	// base run or the route cache.
+	Regions        int `json:"regions,omitempty"`
+	RegionsSpliced int `json:"regions_spliced,omitempty"`
+	// NetsSpliced/NetsWarm/NetsRerouted break all nets down by routing
+	// provenance: spliced with their region, warm-started from a base
+	// route (eco-fast only), or routed from scratch.
+	NetsSpliced  int `json:"nets_spliced,omitempty"`
+	NetsWarm     int `json:"nets_warm,omitempty"`
+	NetsRerouted int `json:"nets_rerouted,omitempty"`
 }
 
 // Result is the completed-run payload inside a Job.
@@ -126,8 +146,12 @@ type Stats struct {
 	CacheHitRate      float64     `json:"cache_hit_rate"`
 	// PanelCache counts per-panel artifact reuse: the incremental hit
 	// rate harvested by design-level misses.
-	PanelCache        cache.Stats                `json:"panel_cache"`
-	PanelCacheHitRate float64                    `json:"panel_cache_hit_rate"`
+	PanelCache        cache.Stats `json:"panel_cache"`
+	PanelCacheHitRate float64     `json:"panel_cache_hit_rate"`
+	// RouteCache counts per-region route bundle reuse: the routing
+	// splice rate of incremental reruns.
+	RouteCache        cache.Stats                `json:"route_cache"`
+	RouteCacheHitRate float64                    `json:"route_cache_hit_rate"`
 	Stages            map[string]jobs.StageStats `json:"stage_latency"`
 }
 

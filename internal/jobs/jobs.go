@@ -23,17 +23,19 @@ import (
 	"cpr/internal/telemetry"
 )
 
-// ResultCache is the daemon's two-level cache: whole-design results at
-// the top, per-panel pipeline artifacts below. A design-level hit
-// answers a resubmission without running anything; a design-level miss
-// still harvests panel-level hits for every unchanged panel.
-type ResultCache = cache.TwoLevel[*core.RunResult, *pipeline.PanelArtifact]
+// ResultCache is the daemon's three-level cache: whole-design results at
+// the top, per-panel pipeline artifacts and per-region route bundles
+// below. A design-level hit answers a resubmission without running
+// anything; a design-level miss still harvests panel- and route-level
+// hits for everything the edit provably cannot affect.
+type ResultCache = cache.ThreeLevel[*core.RunResult, *pipeline.PanelArtifact, *pipeline.RouteArtifact]
 
-// NewResultCache creates the two-level cache. Capacities <= 0 take the
-// cache package defaults; the panel level typically wants a multiple of
-// the design level (one design contributes many panels).
-func NewResultCache(designCap, panelCap int) *ResultCache {
-	return cache.NewTwoLevel[*core.RunResult, *pipeline.PanelArtifact](designCap, panelCap)
+// NewResultCache creates the three-level cache. Capacities <= 0 take the
+// cache package defaults; the panel and route levels typically want a
+// multiple of the design level (one design contributes many panels and
+// regions).
+func NewResultCache(designCap, panelCap, routeCap int) *ResultCache {
+	return cache.NewThreeLevel[*core.RunResult, *pipeline.PanelArtifact, *pipeline.RouteArtifact](designCap, panelCap, routeCap)
 }
 
 // State is a job's lifecycle state. Terminal states are StateDone and
@@ -314,8 +316,12 @@ type Stats struct {
 	CacheHitRate     float64     `json:"cache_hit_rate"`
 	// PanelCache counts per-panel artifact hits and misses: the
 	// incremental-reuse rate of design-level misses.
-	PanelCache        cache.Stats           `json:"panel_cache"`
-	PanelCacheHitRate float64               `json:"panel_cache_hit_rate"`
+	PanelCache        cache.Stats `json:"panel_cache"`
+	PanelCacheHitRate float64     `json:"panel_cache_hit_rate"`
+	// RouteCache counts per-region route bundle hits and misses: the
+	// routing-splice rate of incremental reruns.
+	RouteCache        cache.Stats           `json:"route_cache"`
+	RouteCacheHitRate float64               `json:"route_cache_hit_rate"`
 	Stages            map[string]StageStats `json:"stage_latency"`
 }
 
@@ -417,6 +423,7 @@ func (m *Manager) registerMetrics(c *ResultCache) {
 	}{
 		{"design", func() cache.Stats { return c.Design.Stats() }},
 		{"panel", func() cache.Stats { return c.Panel.Stats() }},
+		{"route", func() cache.Stats { return c.Route.Stats() }},
 	}
 	for _, lv := range levels {
 		lv := lv
@@ -443,13 +450,19 @@ func (m *Manager) Submit(d *design.Design, opts core.Options) (*Job, error) {
 
 // SubmitBase is Submit with an incremental baseline: when baseJobID
 // names a finished job, the new job reruns against its result,
-// recomputing only the panels the edit dirtied and splicing the rest.
-// The baseline never changes the result — the hard invariant of
-// core.Rerun is byte-identity with a cold run — so the design-level
-// cache key, the cached-answer fast path, and coalescing all behave
-// exactly as for Submit. The base job's panel artifacts are re-warmed
-// into the panel cache at submission, so reuse survives earlier
-// evictions.
+// recomputing only the panels and routing regions the edit dirtied and
+// splicing the rest. In strict rerun mode the baseline never changes
+// the result — the hard invariant of core.Rerun is byte-identity with a
+// cold run — so the design-level cache key, the cached-answer fast
+// path, and coalescing all behave exactly as for Submit. The base job's
+// panel and route artifacts are re-warmed into their cache levels at
+// submission, so reuse survives earlier evictions.
+//
+// Eco-fast reruns with a baseline are the one exception: their result
+// is verified legal and objective-equal but not byte-identical to a
+// cold run, so such jobs bypass the design-level cache entirely (no
+// cached-answer fast path, no coalescing, no Put) — a warm-started
+// result must never be served to a cold submitter of the same design.
 func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID string) (*Job, error) {
 	var base *core.RunResult
 	if baseJobID != "" {
@@ -468,11 +481,17 @@ func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID stri
 					m.cache.Panel.Put(a.Key, a)
 				}
 			}
+			for _, a := range base.Artifacts.Routes {
+				if a.Key != "" && !m.cache.Route.Contains(a.Key) {
+					m.cache.Route.Put(a.Key, a)
+				}
+			}
 		}
 	}
 
 	fp := Fingerprint(opts)
-	cacheable := opts.Profit == nil
+	cacheable := opts.Profit == nil &&
+		!(opts.RerunMode == core.RerunEcoFast && base != nil)
 	var key string
 	if cacheable {
 		hash, err := designio.Hash(d)
@@ -625,12 +644,16 @@ func (m *Manager) execute(job *Job) {
 		return
 	}
 
-	// The panel cache is wired for cacheable jobs only: Key == "" means
-	// the request is uncacheable (custom profit), and the same condition
-	// makes panel artifacts unaddressable.
+	// The panel and route caches are wired for content-addressable jobs
+	// only: a custom profit function makes panel artifacts unaddressable
+	// (the profit is part of their inputs), and route keys are derived
+	// from them downstream. Eco-fast jobs (Key == "" with a base) still
+	// get both read-side caches — their own divergent artifacts carry no
+	// keys, so they can never poison either level.
 	opts := job.opts
-	if job.Key != "" && m.cache != nil {
+	if opts.Profit == nil && m.cache != nil {
 		opts.PanelCache = m.cache.Panel
+		opts.RouteCache = m.cache.Route
 	}
 
 	// Thread telemetry into the run context. Strictly observational: the
@@ -742,6 +765,8 @@ func (m *Manager) Stats() Stats {
 		st.CacheHitRate = st.Cache.HitRate()
 		st.PanelCache = m.cache.Panel.Stats()
 		st.PanelCacheHitRate = st.PanelCache.HitRate()
+		st.RouteCache = m.cache.Route.Stats()
+		st.RouteCacheHitRate = st.RouteCache.HitRate()
 	}
 	names := make([]string, 0, len(m.stages))
 	for name := range m.stages {

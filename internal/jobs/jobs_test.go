@@ -49,7 +49,7 @@ func TestSubmitRunsToDone(t *testing.T) {
 			runs.Add(1)
 			return &core.RunResult{}, nil
 		},
-	}, NewResultCache(16, 0))
+	}, NewResultCache(16, 0, 0))
 	d := testDesign(t)
 
 	job, err := m.Submit(d, core.Options{})
@@ -79,7 +79,7 @@ func TestCacheHitOnIdenticalResubmission(t *testing.T) {
 			runs.Add(1)
 			return &core.RunResult{}, nil
 		},
-	}, NewResultCache(16, 0))
+	}, NewResultCache(16, 0, 0))
 	d := testDesign(t)
 
 	first, err := m.Submit(d, core.Options{})
@@ -120,7 +120,7 @@ func TestDifferentOptionsMissCache(t *testing.T) {
 			runs.Add(1)
 			return &core.RunResult{}, nil
 		},
-	}, NewResultCache(16, 0))
+	}, NewResultCache(16, 0, 0))
 	d := testDesign(t)
 	a, _ := m.Submit(d, optsN(1))
 	waitTerminal(t, a)
@@ -141,7 +141,7 @@ func TestCoalesceIdenticalInflight(t *testing.T) {
 			<-release
 			return &core.RunResult{}, nil
 		},
-	}, NewResultCache(16, 0))
+	}, NewResultCache(16, 0, 0))
 	d := testDesign(t)
 
 	a, err := m.Submit(d, core.Options{})
@@ -173,7 +173,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 			<-release
 			return &core.RunResult{}, nil
 		},
-	}, NewResultCache(16, 0))
+	}, NewResultCache(16, 0, 0))
 	d := testDesign(t)
 
 	first, err := m.Submit(d, optsN(1))
@@ -209,7 +209,7 @@ func TestJobTimeoutFailsWithoutWedging(t *testing.T) {
 			}
 			return &core.RunResult{}, nil
 		},
-	}, NewResultCache(16, 0))
+	}, NewResultCache(16, 0, 0))
 	d := testDesign(t)
 
 	slow, err := m.Submit(d, optsN(999))
@@ -240,7 +240,7 @@ func TestDrainCompletesInflightJobs(t *testing.T) {
 			time.Sleep(20 * time.Millisecond)
 			return &core.RunResult{}, nil
 		},
-	}, NewResultCache(16, 0))
+	}, NewResultCache(16, 0, 0))
 	d := testDesign(t)
 
 	var jobs []*Job
@@ -273,7 +273,7 @@ func TestDrainDeadlineCancelsRunningJobs(t *testing.T) {
 			<-ctx.Done() // cooperates with cancellation but never finishes on its own
 			return nil, ctx.Err()
 		},
-	}, NewResultCache(16, 0))
+	}, NewResultCache(16, 0, 0))
 	d := testDesign(t)
 
 	running, err := m.Submit(d, optsN(1))
@@ -316,7 +316,7 @@ func TestStressNoJobLostNoDoubleRun(t *testing.T) {
 			time.Sleep(100 * time.Microsecond)
 			return &core.RunResult{}, nil
 		},
-	}, NewResultCache(keys*2, 0))
+	}, NewResultCache(keys*2, 0, 0))
 	d := testDesign(t)
 
 	var (
@@ -394,7 +394,7 @@ func TestSubmitBaseDispatchesRerun(t *testing.T) {
 			gotBase = prev
 			return &core.RunResult{}, nil
 		},
-	}, NewResultCache(16, 16))
+	}, NewResultCache(16, 16, 0))
 	d := testDesign(t)
 
 	base, err := m.Submit(d, optsN(1))
@@ -431,7 +431,7 @@ func TestSubmitBaseErrors(t *testing.T) {
 			<-release
 			return &core.RunResult{}, nil
 		},
-	}, NewResultCache(16, 16))
+	}, NewResultCache(16, 16, 0))
 	d := testDesign(t)
 
 	if _, err := m.SubmitBase(d, core.Options{}, "no-such-job"); !errors.Is(err, ErrUnknownBaseJob) {
@@ -461,7 +461,7 @@ func TestSubmitBaseRewarmsPanelCache(t *testing.T) {
 			{Panel: 2}, // keyless artifacts must be skipped, not inserted
 		},
 	}
-	c := NewResultCache(16, 16)
+	c := NewResultCache(16, 16, 0)
 	m := New(Config{
 		MaxConcurrent: 1,
 		Run: func(ctx context.Context, d *design.Design, o core.Options) (*core.RunResult, error) {

@@ -84,6 +84,13 @@ type ArtifactSet struct {
 	// Panels holds one artifact per non-empty panel, ascending by panel
 	// index.
 	Panels []*PanelArtifact
+	// RouterFingerprint is the router fingerprint the route artifacts
+	// were produced under (RouterFingerprint); empty when the run did not
+	// retain routing artifacts.
+	RouterFingerprint string
+	// Routes holds one route artifact per region, ascending by region
+	// index.
+	Routes []*RouteArtifact
 }
 
 // ByKey indexes the artifacts by content key. Artifacts without a key

@@ -1,0 +1,234 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cpr/internal/cache"
+	"cpr/internal/design"
+	"cpr/internal/geom"
+	"cpr/internal/router"
+)
+
+// RouteArtifact is the cached routing product of one region: everything a
+// later run needs to splice the region's routes into a result without
+// re-routing it (strict mode), or to warm-start individual nets from it
+// (eco-fast mode).
+type RouteArtifact struct {
+	// Region is the region index the artifact was produced for. Positional
+	// provenance only — indices shift when unrelated regions appear — so
+	// it is deliberately absent from the content key.
+	Region int
+	// Key is the content address of the region's routing inputs plus the
+	// router fingerprint (see RouteKeyFor); empty when the artifact must
+	// not be reused verbatim (e.g. it was produced by an eco-fast rerun,
+	// whose routes are legal but not byte-equal to a cold run's).
+	Key string
+	// Nets lists the member net IDs, ascending (parallel to Routes).
+	Nets []int
+	// Names holds the member nets' names, parallel to Nets. Names never
+	// reach the content key (a pure rename cannot change route bytes);
+	// they are retained so eco-fast reruns can match nets across edits
+	// that shift net IDs.
+	Names []string
+	// Sigs holds each member net's routing signature (NetSignature),
+	// parallel to Nets — the eco-fast warm-start match condition.
+	Sigs []string
+	// Routes holds the member nets' routes, parallel to Nets.
+	Routes []*router.NetRoute
+	// Summary is the region's counter outcome, re-merged into rerun
+	// results when the region is spliced. It deliberately carries no
+	// wall-clock fields, so spliced work contributes zero elapsed time.
+	Summary router.RegionSummary
+}
+
+// RouterFingerprint renders the result-affecting router configuration
+// into a canonical string, the second half of the per-region route key.
+// Workers is deliberately absent: the deterministic worker-pool contract
+// makes route bytes identical for every worker count.
+func RouterFingerprint(cfg router.Config) string {
+	c := cfg.Normalized()
+	return fmt.Sprintf("route-v1 order=%s iters=%d pres=%s,%s hist=%s win=%d,%d,%d stall=%d skipdrc=%t",
+		c.Order, c.MaxNegotiationIters,
+		formatFloat(c.PresentCostBase), formatFloat(c.PresentCostGrowth),
+		formatFloat(c.HistoryIncrement),
+		c.WindowMargin, c.WindowGrowth, c.MaxWindowMargin,
+		c.StallRounds, c.SkipDRC)
+}
+
+// WriteRegionInputs writes the canonical encoding of every input that can
+// affect one region's routes. This is the per-region half of the route
+// key contract (DESIGN.md §4f):
+//
+//   - the grid extents and the full technology record;
+//   - every member net: its ID, its pins (ascending by ID, with shapes),
+//     its seeded pin-access cells (the assignment the router was seeded
+//     with, by value — so the key holds regardless of which solver
+//     produced it), and its influence rectangle (which bounds every
+//     search window, clearance cell, and DRC avoid zone any stage can
+//     touch);
+//   - every design blockage clipped to the region's influence bounds
+//     expanded by one cell (the extra cell covers forbidden-via
+//     adjacency).
+//
+// Anything not encoded here — other regions' nets and seeds, blockages
+// out of reach, net names, worker counts — provably cannot change the
+// region's route bytes.
+func WriteRegionInputs(w io.Writer, d *design.Design, rt *router.Router, rg *router.Region) error {
+	t := d.Tech
+	if _, err := fmt.Fprintf(w, "region-inputs v1\ngrid %d %d\ntech %d %d %d %d %d %d %d\n",
+		d.Width, d.Height,
+		t.TracksPerPanel, t.BaseCost, t.ViaCost, t.ForbiddenViaCost,
+		t.LineEndExtension, t.MinLineLen, t.LineEndSpacing); err != nil {
+		return err
+	}
+	for i, netID := range rg.Nets {
+		rc := rg.Rects[i]
+		if _, err := fmt.Fprintf(w, "net %d rect %d %d %d %d\n",
+			netID, rc.X0, rc.Y0, rc.X1, rc.Y1); err != nil {
+			return err
+		}
+		pins := append([]int(nil), d.Nets[netID].PinIDs...)
+		sort.Ints(pins)
+		for _, pid := range pins {
+			sh := d.Pins[pid].Shape
+			if _, err := fmt.Fprintf(w, "pin %d shape %d %d %d %d\n",
+				pid, sh.X0, sh.Y0, sh.X1, sh.Y1); err != nil {
+				return err
+			}
+		}
+		if seeds := rt.SeededCells(netID); len(seeds) > 0 {
+			if _, err := fmt.Fprintf(w, "seeds %v\n", seeds); err != nil {
+				return err
+			}
+		}
+	}
+	// Blockages within reach of the region, clipped so far-away edits to
+	// the same blockage rect cannot dirty the region.
+	bounds := rg.Bounds().Expand(1)
+	for _, b := range d.Blockages {
+		clip := b.Shape.Intersect(bounds)
+		if clip.Empty() {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "blk %d %d %d %d %d\n",
+			b.Layer, clip.X0, clip.Y0, clip.X1, clip.Y1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegionHash returns the hex SHA-256 of the region's canonical input
+// encoding. The router must be the one the region plan was computed on
+// (its seeded cells are part of the encoding).
+func RegionHash(d *design.Design, rt *router.Router, rg *router.Region) string {
+	return hashOf(func(w io.Writer) error { return WriteRegionInputs(w, d, rt, rg) })
+}
+
+// RouteKeyFor returns the content address of one region's route bundle
+// under the router's configuration. Always defined: routing is
+// deterministic in its encoded inputs, so equal keys imply byte-identical
+// route bundles.
+func RouteKeyFor(d *design.Design, rt *router.Router, rg *router.Region) string {
+	return cache.RouteKey(RegionHash(d, rt, rg), RouterFingerprint(rt.Configuration()))
+}
+
+// NetSignature canonically encodes everything that must be unchanged for
+// a previous route of the net to be replayable on the current grid: the
+// grid extents (route node IDs are grid-relative), the net's pin shapes
+// (sorted, ID-independent — IDs shift under edits), and its seeded
+// pin-access cells. Used by eco-fast warm-starting; a signature match
+// does not promise legality (the surroundings may have changed), only
+// that replaying is geometrically meaningful — the router still checks
+// enterability and negotiation fixes the rest.
+func NetSignature(d *design.Design, rt *router.Router, netID int) string {
+	return hashOf(func(w io.Writer) error {
+		if _, err := fmt.Fprintf(w, "netsig v1 grid %d %d\n", d.Width, d.Height); err != nil {
+			return err
+		}
+		shapes := make([]geom.Rect, 0, len(d.Nets[netID].PinIDs))
+		for _, pid := range d.Nets[netID].PinIDs {
+			shapes = append(shapes, d.Pins[pid].Shape)
+		}
+		sort.Slice(shapes, func(a, b int) bool {
+			if shapes[a].X0 != shapes[b].X0 {
+				return shapes[a].X0 < shapes[b].X0
+			}
+			return shapes[a].Y0 < shapes[b].Y0
+		})
+		for _, sh := range shapes {
+			if _, err := fmt.Fprintf(w, "pin %d %d %d %d\n", sh.X0, sh.Y0, sh.X1, sh.Y1); err != nil {
+				return err
+			}
+		}
+		if seeds := rt.SeededCells(netID); len(seeds) > 0 {
+			if _, err := fmt.Fprintf(w, "seeds %v\n", seeds); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// BuildRouteArtifacts bundles a finished run's routes into per-region
+// artifacts for the run's plan. cacheable=false (eco-fast reruns) leaves
+// every Key empty, so the bundles can still warm-start future eco-fast
+// reruns but are never spliced verbatim into a strict one.
+func BuildRouteArtifacts(d *design.Design, rt *router.Router, plan *router.Plan,
+	res *router.Result, cacheable bool) []*RouteArtifact {
+
+	arts := make([]*RouteArtifact, 0, len(plan.Regions))
+	for _, rg := range plan.Regions {
+		a := &RouteArtifact{
+			Region:  rg.ID,
+			Nets:    append([]int(nil), rg.Nets...),
+			Names:   make([]string, len(rg.Nets)),
+			Sigs:    make([]string, len(rg.Nets)),
+			Routes:  make([]*router.NetRoute, len(rg.Nets)),
+			Summary: res.RegionSummaries[rg.ID],
+		}
+		if cacheable {
+			a.Key = RouteKeyFor(d, rt, rg)
+		}
+		for i, netID := range rg.Nets {
+			a.Names[i] = d.Nets[netID].Name
+			a.Sigs[i] = NetSignature(d, rt, netID)
+			a.Routes[i] = res.Routes[netID].Clone()
+		}
+		arts = append(arts, a)
+	}
+	return arts
+}
+
+// ByRouteKey indexes the route artifacts by content key, skipping keyless
+// (non-spliceable) ones.
+func (s *ArtifactSet) ByRouteKey() map[string]*RouteArtifact {
+	m := make(map[string]*RouteArtifact, len(s.Routes))
+	for _, a := range s.Routes {
+		if a.Key != "" {
+			m[a.Key] = a
+		}
+	}
+	return m
+}
+
+// WarmIndex indexes the route artifacts' member routes by (name,
+// signature) for eco-fast warm-start matching. Unrouted entries are
+// indexed too: a baseline's failure verdict is as transferable as its
+// routes — the router gives a matched-but-failed net one fresh routing
+// attempt instead of letting it churn through every negotiation round
+// the baseline already spent on it.
+func (s *ArtifactSet) WarmIndex() map[string]*router.NetRoute {
+	m := make(map[string]*router.NetRoute)
+	for _, a := range s.Routes {
+		for i, nr := range a.Routes {
+			if nr == nil {
+				continue
+			}
+			m[a.Names[i]+"\n"+a.Sigs[i]] = nr
+		}
+	}
+	return m
+}

@@ -104,14 +104,17 @@ func extendSegment(span geom.Interval, ext, minLen, limit int) geom.Interval {
 	return span
 }
 
-// enforceLineEndRules extends every routed net's line-ends and checks
-// line-end spacing between diff-net strips on the same track plus overlap
-// with blockages. Violating nets are first ripped up and rerouted with
-// other nets' extended clearance zones forbidden (the paper's "line-end
-// extensions and rip-up and reroute to accommodate the manufacturing
-// constraints"); nets that still violate are unrouted. Returns the number
-// of nets unrouted.
-func (r *Router) enforceLineEndRules(routes []*NetRoute) int {
+// enforceLineEndRules extends every routed member net's line-ends and
+// checks line-end spacing between diff-net strips on the same track plus
+// overlap with blockages. Violating nets are first ripped up and rerouted
+// with other nets' extended clearance zones forbidden (the paper's
+// "line-end extensions and rip-up and reroute to accommodate the
+// manufacturing constraints"); nets that still violate are unrouted.
+// Region-local: only the shard's member nets can produce strips inside
+// the region's influence rectangles, so no cross-region strip can appear
+// on a shared track. Returns the number of nets unrouted.
+func (s *shard) enforceLineEndRules() int {
+	r := s.Router
 	ext := r.g.Tech.LineEndExtension
 	minLen := r.g.Tech.MinLineLen
 	spacing := r.g.Tech.LineEndSpacing
@@ -127,14 +130,15 @@ func (r *Router) enforceLineEndRules(routes []*NetRoute) int {
 	type trackKey struct{ layer, track int }
 	build := func() map[trackKey][]metalSegment {
 		byTrack := make(map[trackKey][]metalSegment)
-		for _, nr := range routes {
+		for _, netID := range s.region.Nets {
+			nr := s.routes[netID]
 			if nr == nil || !nr.Routed {
 				continue
 			}
-			for _, s := range r.segmentsOf(nr) {
-				s.span = extendSegment(s.span, ext, minLen, limitFor(s.layer))
-				k := trackKey{s.layer, s.track}
-				byTrack[k] = append(byTrack[k], s)
+			for _, seg := range r.segmentsOf(nr) {
+				seg.span = extendSegment(seg.span, ext, minLen, limitFor(seg.layer))
+				k := trackKey{seg.layer, seg.track}
+				byTrack[k] = append(byTrack[k], seg)
 			}
 		}
 		for k := range byTrack {
@@ -166,9 +170,9 @@ func (r *Router) enforceLineEndRules(routes []*NetRoute) int {
 				}
 			}
 			// Blockage overlap on the same layer/track.
-			for _, s := range segs {
-				if r.segmentHitsBlockage(k.layer, k.track, s.span) {
-					vio[s.netID]++
+			for _, seg := range segs {
+				if r.segmentHitsBlockage(k.layer, k.track, seg.span) {
+					vio[seg.netID]++
 				}
 			}
 		}
@@ -184,8 +188,8 @@ func (r *Router) enforceLineEndRules(routes []*NetRoute) int {
 		avoid := make(map[grid.NodeID]bool)
 		for k, segs := range byTrack {
 			limit := limitFor(k.layer)
-			for _, s := range segs {
-				lo, hi := s.span.Lo-margin, s.span.Hi+margin
+			for _, seg := range segs {
+				lo, hi := seg.span.Lo-margin, seg.span.Hi+margin
 				if lo < 0 {
 					lo = 0
 				}
@@ -210,7 +214,7 @@ func (r *Router) enforceLineEndRules(routes []*NetRoute) int {
 	// not retried.
 	tried := make(map[int]bool)
 	margin := r.cfg.WindowMargin + r.cfg.WindowGrowth*(r.cfg.MaxNegotiationIters+1)
-	maxRounds := 2 * len(routes)
+	maxRounds := 2 * len(s.region.Nets)
 	if maxRounds > 200 {
 		maxRounds = 200
 	}
@@ -225,8 +229,8 @@ func (r *Router) enforceLineEndRules(routes []*NetRoute) int {
 				continue
 			}
 			if pick < 0 ||
-				len(routes[netID].Nodes) > len(routes[pick].Nodes) ||
-				(len(routes[netID].Nodes) == len(routes[pick].Nodes) && netID > pick) {
+				len(s.routes[netID].Nodes) > len(s.routes[pick].Nodes) ||
+				(len(s.routes[netID].Nodes) == len(s.routes[pick].Nodes) && netID > pick) {
 				pick = netID
 			}
 		}
@@ -234,24 +238,24 @@ func (r *Router) enforceLineEndRules(routes []*NetRoute) int {
 			break // every violating net already tried
 		}
 		tried[pick] = true
-		old := *routes[pick]
-		r.release(routes[pick])
-		routes[pick].Routed = false
-		r.avoid = buildAvoid(build())
-		rerouted := r.routeNet(pick, r.cfg.PresentCostBase, margin)
-		r.avoid = nil
+		old := *s.routes[pick]
+		r.release(s.routes[pick])
+		s.routes[pick].Routed = false
+		s.avoid = buildAvoid(build())
+		rerouted := s.routeNet(pick, r.cfg.PresentCostBase, margin)
+		s.avoid = nil
 		if rerouted.Routed {
-			*routes[pick] = *rerouted
-			r.occupy(routes[pick])
+			*s.routes[pick] = *rerouted
+			r.occupy(s.routes[pick])
 		} else {
-			*routes[pick] = old
-			r.occupy(routes[pick])
+			*s.routes[pick] = old
+			r.occupy(s.routes[pick])
 		}
 	}
 
 	// Phase 2: drop nets that still violate, most-violating first.
 	dropped := 0
-	for iter := 0; iter < len(routes); iter++ {
+	for iter := 0; iter < len(s.region.Nets); iter++ {
 		vio := violationsPerNet(build())
 		if len(vio) == 0 {
 			break
@@ -265,12 +269,12 @@ func (r *Router) enforceLineEndRules(routes []*NetRoute) int {
 		if worst < 0 {
 			break
 		}
-		r.release(routes[worst])
-		routes[worst].Routed = false
-		routes[worst].FailReason = "drc"
-		routes[worst].Nodes = nil
-		routes[worst].Edges = nil
-		routes[worst].Virtual = nil
+		r.release(s.routes[worst])
+		s.routes[worst].Routed = false
+		s.routes[worst].FailReason = "drc"
+		s.routes[worst].Nodes = nil
+		s.routes[worst].Edges = nil
+		s.routes[worst].Virtual = nil
 		dropped++
 	}
 	return dropped

@@ -1,0 +1,129 @@
+package router_test
+
+import (
+	"context"
+	"testing"
+
+	"cpr/internal/grid"
+	"cpr/internal/router"
+	"cpr/internal/verify"
+)
+
+// FuzzRouteSplice drives RunPlan with arbitrary dirty-region masks: any
+// subset of a cold run's regions spliced, the rest re-routed. Whatever
+// the mask, the result must uphold the splice invariants:
+//
+//  1. no two nets share a metal cell (brute-force occupancy oracle over
+//     every route's nodes and virtual extension cells);
+//  2. no dangling route-tree nodes (every edge endpoint appears in the
+//     owning route's node list);
+//  3. no net is finalized twice (spliced-net accounting matches the
+//     mask exactly, and the route table stays one-entry-per-net);
+//  4. the independent verifier accepts the result, and — since the
+//     design is unchanged — every route is byte-identical to cold.
+func FuzzRouteSplice(f *testing.F) {
+	d := clusteredDesign(f, "fuzz-splice", 3, 10, 555, true)
+	cold := router.New(d, grid.New(d), router.Config{}).Run()
+	if cold.Regions < 3 {
+		f.Fatalf("expected >= 3 regions, got %d", cold.Regions)
+	}
+	if rep := verify.Check(d, grid.New(d), cold); !rep.Ok() {
+		f.Fatalf("cold run fails its own verification: %v", rep.Errors)
+	}
+
+	f.Add(uint8(0))
+	f.Add(uint8(1))
+	f.Add(uint8(0b101))
+	f.Add(uint8(0xff))
+	f.Fuzz(func(t *testing.T, mask uint8) {
+		g := grid.New(d)
+		r := router.New(d, g, router.Config{})
+		plan := r.Partition()
+		keep := func(id int) bool { return mask&(1<<uint(id%8)) != 0 }
+		spliced := splicedRegionsFrom(plan, cold, keep)
+		res := r.RunPlan(context.Background(), plan, router.RunOpts{Spliced: spliced})
+
+		// Invariant 3: spliced-net accounting matches the mask, no net
+		// counted (or finalized) twice.
+		wantSpliced := 0
+		for _, rg := range plan.Regions {
+			if keep(rg.ID) {
+				wantSpliced += len(rg.Nets)
+			}
+		}
+		if res.SplicedNets != wantSpliced {
+			t.Fatalf("mask %08b: SplicedNets = %d, want %d", mask, res.SplicedNets, wantSpliced)
+		}
+		if len(res.Routes) != len(d.Nets) {
+			t.Fatalf("mask %08b: route table has %d entries for %d nets", mask, len(res.Routes), len(d.Nets))
+		}
+
+		// Invariants 1 and 2: brute-force occupancy and tree-closure
+		// oracles over the final route table.
+		user := make(map[grid.NodeID]int)
+		for netID, nr := range res.Routes {
+			if nr == nil || !nr.Routed {
+				continue
+			}
+			nodeSet := make(map[grid.NodeID]bool, len(nr.Nodes))
+			for _, id := range nr.Nodes {
+				nodeSet[id] = true
+			}
+			for _, e := range nr.Edges {
+				if !nodeSet[e.From] || !nodeSet[e.To] {
+					t.Fatalf("mask %08b: net %d has a dangling edge endpoint", mask, netID)
+				}
+			}
+			for _, id := range nr.Nodes {
+				if prev, ok := user[id]; ok && prev != netID {
+					x, y, z := g.Coords(id)
+					t.Fatalf("mask %08b: nets %d and %d overlap at (%d,%d,L%d)", mask, prev, netID, x, y, z)
+				}
+				user[id] = netID
+			}
+			for _, id := range nr.Virtual {
+				if prev, ok := user[id]; ok && prev != netID {
+					x, y, z := g.Coords(id)
+					t.Fatalf("mask %08b: nets %d and %d overlap on virtual cell (%d,%d,L%d)",
+						mask, prev, netID, x, y, z)
+				}
+				user[id] = netID
+			}
+		}
+
+		// Invariant 4: independent verification, then byte-identity to
+		// the cold run (the design is unchanged, so every mask must
+		// reproduce it exactly).
+		if rep := verify.Check(d, g, res); !rep.Ok() {
+			t.Fatalf("mask %08b: verification failed: %v", mask, rep.Errors)
+		}
+		for netID := range res.Routes {
+			got, want := res.Routes[netID], cold.Routes[netID]
+			if (got == nil) != (want == nil) {
+				t.Fatalf("mask %08b: net %d nil mismatch", mask, netID)
+			}
+			if got == nil {
+				continue
+			}
+			if got.Routed != want.Routed || len(got.Nodes) != len(want.Nodes) ||
+				len(got.Edges) != len(want.Edges) || len(got.Virtual) != len(want.Virtual) {
+				t.Fatalf("mask %08b: net %d route shape differs from cold", mask, netID)
+			}
+			for i := range got.Nodes {
+				if got.Nodes[i] != want.Nodes[i] {
+					t.Fatalf("mask %08b: net %d node %d differs from cold", mask, netID, i)
+				}
+			}
+			for i := range got.Edges {
+				if got.Edges[i] != want.Edges[i] {
+					t.Fatalf("mask %08b: net %d edge %d differs from cold", mask, netID, i)
+				}
+			}
+			for i := range got.Virtual {
+				if got.Virtual[i] != want.Virtual[i] {
+					t.Fatalf("mask %08b: net %d virtual cell %d differs from cold", mask, netID, i)
+				}
+			}
+		}
+	})
+}

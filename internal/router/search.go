@@ -51,9 +51,10 @@ func (q *pq) Pop() interface{} {
 // node cost combines the technology edge cost with PathFinder history and
 // present congestion penalties. It returns the path from a source to the
 // reached target (inclusive).
-func (r *Router) search(netID int, sources []grid.NodeID, targets map[grid.NodeID]bool,
+func (s *shard) search(netID int, sources []grid.NodeID, targets map[grid.NodeID]bool,
 	win searchWindow, presFac float64) ([]grid.NodeID, bool) {
 
+	r := s.Router
 	if len(targets) == 0 {
 		return nil, false
 	}
@@ -163,7 +164,7 @@ func (r *Router) search(netID int, sources []grid.NodeID, targets map[grid.NodeI
 			if !r.g.Enterable(nid, netID) {
 				return
 			}
-			if r.avoid != nil && r.avoid[nid] {
+			if s.avoid != nil && s.avoid[nid] {
 				return
 			}
 			nli := win.local(nx, ny, nz)

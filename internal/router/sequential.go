@@ -2,7 +2,6 @@ package router
 
 import (
 	"sort"
-	"time"
 
 	"cpr/internal/geom"
 	"cpr/internal/grid"
@@ -50,13 +49,18 @@ func (c SequentialConfig) withDefaults() SequentialConfig {
 // retried with wider windows. The output is design-rule-clean by
 // construction, mirroring the paper's description of [12].
 func (r *Router) RunSequential(cfg SequentialConfig) *Result {
-	start := time.Now() //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
+	start := now()
 	cfg = cfg.withDefaults()
-	res := &Result{Routes: make([]*NetRoute, len(r.d.Nets))}
+	res := &Result{Routes: make([]*NetRoute, len(r.d.Nets)), Regions: 1}
 	for i := range res.Routes {
 		res.Routes[i] = &NetRoute{NetID: i}
 	}
-	r.lastRoutes = res.Routes
+
+	// The sequential baseline routes the whole design as one shard (no
+	// region decomposition): the shard carries the avoid set and the
+	// route table its search needs.
+	s := r.wholeShard(res.Routes)
+	s.avoid = make(map[grid.NodeID]bool)
 
 	// One-sided clearance: committed strips block later metal within the
 	// full 2*ext + spacing distance (later nets' own extensions are not
@@ -67,8 +71,6 @@ func (r *Router) RunSequential(cfg SequentialConfig) *Result {
 	// reference counts, so a rip-up removes exactly its own contribution
 	// (sequential design rule legalization).
 	avoidCount := make(map[grid.NodeID]int)
-	r.avoid = make(map[grid.NodeID]bool)
-	defer func() { r.avoid = nil }()
 
 	// Upfront pin access planning (the "planning" half of [12]): every
 	// pin's M2 shadow is reserved for its net before any routing, so no
@@ -89,12 +91,12 @@ func (r *Router) RunSequential(cfg SequentialConfig) *Result {
 	// clearanceCells enumerates a route's line-end clearance zone.
 	clearanceCells := func(nr *NetRoute) []grid.NodeID {
 		var cells []grid.NodeID
-		for _, s := range r.segmentsOf(nr) {
+		for _, seg := range r.segmentsOf(nr) {
 			limit := r.d.Width
-			if s.layer == tech.M3 {
+			if seg.layer == tech.M3 {
 				limit = r.d.Height
 			}
-			lo, hi := s.span.Lo-clearance, s.span.Hi+clearance
+			lo, hi := seg.span.Lo-clearance, seg.span.Hi+clearance
 			if lo < 0 {
 				lo = 0
 			}
@@ -102,10 +104,10 @@ func (r *Router) RunSequential(cfg SequentialConfig) *Result {
 				hi = limit - 1
 			}
 			for c := lo; c <= hi; c++ {
-				if s.layer == tech.M2 {
-					cells = append(cells, r.g.ID(c, s.track, tech.M2))
+				if seg.layer == tech.M2 {
+					cells = append(cells, r.g.ID(c, seg.track, tech.M2))
 				} else {
-					cells = append(cells, r.g.ID(s.track, c, tech.M3))
+					cells = append(cells, r.g.ID(seg.track, c, tech.M3))
 				}
 			}
 		}
@@ -116,7 +118,7 @@ func (r *Router) RunSequential(cfg SequentialConfig) *Result {
 	addClearance := func(nr *NetRoute) {
 		for _, id := range clearanceCells(nr) {
 			avoidCount[id]++
-			r.avoid[id] = true
+			s.avoid[id] = true
 		}
 	}
 	removeClearance := func(nr *NetRoute) {
@@ -124,7 +126,7 @@ func (r *Router) RunSequential(cfg SequentialConfig) *Result {
 			avoidCount[id]--
 			if avoidCount[id] <= 0 {
 				delete(avoidCount, id)
-				delete(r.avoid, id)
+				delete(s.avoid, id)
 			}
 		}
 	}
@@ -203,8 +205,8 @@ func (r *Router) RunSequential(cfg SequentialConfig) *Result {
 	}
 
 	tryRoute := func(netID, margin int) bool {
-		planned := r.planPinAccess(netID)
-		nr := r.routeNetSequential(netID, margin)
+		planned := s.planPinAccess(netID)
+		nr := s.routeNetSequential(netID, margin)
 		r.releasePlan(planned, nr)
 		res.Routes[netID] = nr
 		if nr.Routed {
@@ -266,7 +268,7 @@ func (r *Router) RunSequential(cfg SequentialConfig) *Result {
 			res.Wirelength += nr.Wirelength(r.g)
 		}
 	}
-	res.Elapsed = time.Since(start) //cprlint:nondeterm wall-clock Elapsed metric only; never reaches the routing result
+	res.Elapsed = since(start)
 	return res
 }
 
@@ -288,21 +290,22 @@ func sortCands(cands []ripCand) {
 // routeNetSequential routes one net with committed nets hard-blocked; the
 // avoid set carries their line-end clearance, making each commitment
 // rule-clean against earlier ones.
-func (r *Router) routeNetSequential(netID, margin int) *NetRoute {
-	return r.routeNet(netID, 0, margin)
+func (s *shard) routeNetSequential(netID, margin int) *NetRoute {
+	return s.routeNet(netID, 0, margin)
 }
 
 // planPinAccess greedily reserves, for every pin of the net, the longest
 // free M2 interval around the pin given current ownership — the
 // sequential pin access planning of [12]. Returns the reserved node IDs.
-func (r *Router) planPinAccess(netID int) []grid.NodeID {
+func (s *shard) planPinAccess(netID int) []grid.NodeID {
+	r := s.Router
 	var reserved []grid.NodeID
 	bbox := r.d.NetBBox(netID).XSpan()
 	for _, pid := range r.d.Nets[netID].PinIDs {
 		pin := &r.d.Pins[pid]
 		bestTrack, bestSpan := -1, geom.EmptyInterval()
 		for t := pin.Shape.Y0; t <= pin.Shape.Y1; t++ {
-			span := r.freeSpanOnGrid(netID, t, pin.Shape.XSpan(), bbox)
+			span := s.freeSpanOnGrid(netID, t, pin.Shape.XSpan(), bbox)
 			if span.Len() > bestSpan.Len() {
 				bestTrack, bestSpan = t, span
 			}
@@ -325,7 +328,8 @@ func (r *Router) planPinAccess(netID int) []grid.NodeID {
 // generation: the maximal span on track t around the pin seed that is
 // unblocked, unowned by other nets, outside committed clearance zones,
 // and inside the net bounding box.
-func (r *Router) freeSpanOnGrid(netID, t int, seed, bbox geom.Interval) geom.Interval {
+func (s *shard) freeSpanOnGrid(netID, t int, seed, bbox geom.Interval) geom.Interval {
+	r := s.Router
 	usable := func(x int) bool {
 		if x < 0 || x >= r.d.Width {
 			return false
@@ -334,7 +338,7 @@ func (r *Router) freeSpanOnGrid(netID, t int, seed, bbox geom.Interval) geom.Int
 		if !r.g.Enterable(id, netID) {
 			return false
 		}
-		if r.avoid != nil && r.avoid[id] {
+		if s.avoid != nil && s.avoid[id] {
 			return false
 		}
 		return true

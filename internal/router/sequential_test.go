@@ -71,7 +71,7 @@ func TestSequentialIsLineEndClean(t *testing.T) {
 	res := r.RunSequential(SequentialConfig{})
 	// Verify rule cleanliness with the same checker the negotiated flow
 	// uses: zero nets must be dropped.
-	if dropped := r.enforceLineEndRules(res.Routes); dropped != 0 {
+	if dropped := r.wholeShard(res.Routes).enforceLineEndRules(); dropped != 0 {
 		t.Errorf("sequential result violated line-end rules; %d nets dropped", dropped)
 	}
 }
@@ -116,7 +116,7 @@ func TestPlanPinAccessReservesAroundPin(t *testing.T) {
 	d := twoPinDesign(t)
 	g := grid.New(d)
 	r := New(d, g, Config{})
-	reserved := r.planPinAccess(0)
+	reserved := r.wholeShard(make([]*NetRoute, len(d.Nets))).planPinAccess(0)
 	if len(reserved) == 0 {
 		t.Fatal("no cells reserved")
 	}

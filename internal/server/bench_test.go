@@ -13,7 +13,7 @@ import (
 // specs.
 func benchServer(b *testing.B) *client.Client {
 	b.Helper()
-	mgr := jobs.New(jobs.Config{MaxConcurrent: 2}, jobs.NewResultCache(1<<16, 0))
+	mgr := jobs.New(jobs.Config{MaxConcurrent: 2}, jobs.NewResultCache(1<<16, 0, 0))
 	ts := httptest.NewServer(New(mgr).Handler())
 	b.Cleanup(ts.Close)
 	return client.New(ts.URL)

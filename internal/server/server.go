@@ -208,6 +208,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheHitRate:      st.CacheHitRate,
 		PanelCache:        st.PanelCache,
 		PanelCacheHitRate: st.PanelCacheHitRate,
+		RouteCache:        st.RouteCache,
+		RouteCacheHitRate: st.RouteCacheHitRate,
 		Stages:            st.Stages,
 	})
 }
@@ -276,6 +278,11 @@ func buildOptions(wo *httpapi.Options) (core.Options, error) {
 	opts.ILP.TimeLimit = time.Duration(wo.ILPTimeLimitMS) * time.Millisecond
 	opts.ILP.MaxNodes = wo.ILPMaxNodes
 	opts.Router.MaxNegotiationIters = wo.MaxNegotiationIters
+	mode, err := core.ParseRerunMode(wo.RerunMode)
+	if err != nil {
+		return opts, err
+	}
+	opts.RerunMode = mode
 	return opts, nil
 }
 
@@ -308,9 +315,14 @@ func jobToWire(s jobs.Snapshot) httpapi.Job {
 		}
 		if inc := s.Result.Incremental; inc != nil {
 			res.Incremental = &httpapi.IncrementalSummary{
-				Panels:     inc.Panels,
-				Reused:     inc.Reused,
-				Recomputed: inc.Recomputed,
+				Panels:         inc.Panels,
+				Reused:         inc.Reused,
+				Recomputed:     inc.Recomputed,
+				Regions:        inc.Regions,
+				RegionsSpliced: inc.RegionsSpliced,
+				NetsSpliced:    inc.NetsSpliced,
+				NetsWarm:       inc.NetsWarm,
+				NetsRerouted:   inc.NetsRerouted,
 			}
 		}
 		wj.Result = res

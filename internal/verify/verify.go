@@ -56,6 +56,29 @@ func Check(d *design.Design, g *grid.Graph, res *router.Result) *Report {
 	return rep
 }
 
+// ObjectiveEqual reports whether two routing results of the same design
+// achieve the same routing objective: the same number of routed nets and
+// the same set of routed net IDs. Wirelength and via counts may differ —
+// an eco-fast rerun is free to find a different but equally complete
+// routing — so they are deliberately not compared. Returns nil when
+// equal, or an error naming the first divergence.
+func ObjectiveEqual(d *design.Design, a, b *router.Result) error {
+	if a.RoutedNets != b.RoutedNets {
+		return fmt.Errorf("routed net count differs: %d vs %d", a.RoutedNets, b.RoutedNets)
+	}
+	if len(a.Routes) != len(b.Routes) {
+		return fmt.Errorf("route table size differs: %d vs %d", len(a.Routes), len(b.Routes))
+	}
+	for netID := range a.Routes {
+		ra := a.Routes[netID] != nil && a.Routes[netID].Routed
+		rb := b.Routes[netID] != nil && b.Routes[netID].Routed
+		if ra != rb {
+			return fmt.Errorf("net %s: routed %t vs %t", d.Nets[netID].Name, ra, rb)
+		}
+	}
+	return nil
+}
+
 // checkNet validates one net's tree and registers its metal nodes.
 func checkNet(d *design.Design, g *grid.Graph, netID int, nr *router.NetRoute,
 	nodeUser map[grid.NodeID]int, rep *Report) {
@@ -121,7 +144,25 @@ func checkNet(d *design.Design, g *grid.Graph, netID int, nr *router.NetRoute,
 	if len(pins) <= 1 {
 		return
 	}
-	// Union nodes connected by edges; pin cells participate via identity.
+	// Union nodes connected by edges. A pin's shape is one conductor, so
+	// its in-tree cells are mutually connected even without route edges
+	// between them: two subtrees tapping different cells of the same pin
+	// are electrically joined through the pin metal. Chain each pin's
+	// in-tree cells so the walk sees that.
+	for _, pid := range pins {
+		var first grid.NodeID
+		found := false
+		for _, c := range pinCells(d, g, pid) {
+			if !nodeSet[c] {
+				continue
+			}
+			if !found {
+				first, found = c, true
+				continue
+			}
+			addAdj(first, c)
+		}
+	}
 	visited := make(map[grid.NodeID]bool)
 	var stack []grid.NodeID
 	seed := pinCells(d, g, pins[0])

@@ -1,4 +1,4 @@
-package verify
+package verify_test
 
 import (
 	"strings"
@@ -11,6 +11,7 @@ import (
 	"cpr/internal/router"
 	"cpr/internal/synth"
 	"cpr/internal/tech"
+	"cpr/internal/verify"
 )
 
 func routed(t *testing.T, d *design.Design, cfg router.Config) (*grid.Graph, *router.Result) {
@@ -28,7 +29,7 @@ func TestCleanResultVerifies(t *testing.T) {
 	d.AddPin("p0", n, geom.MakeRect(3, 4, 3, 4))
 	d.AddPin("p1", n, geom.MakeRect(24, 4, 24, 4))
 	g, res := routed(t, d, router.Config{})
-	rep := Check(d, g, res)
+	rep := verify.Check(d, g, res)
 	if !rep.Ok() {
 		t.Fatalf("clean route flagged: %v", rep.Errors)
 	}
@@ -46,7 +47,7 @@ func TestDetectsDisconnectedRoute(t *testing.T) {
 	// Cut the route: drop half its edges.
 	nr := res.Routes[0]
 	nr.Edges = nr.Edges[:len(nr.Edges)/2]
-	rep := Check(d, g, res)
+	rep := verify.Check(d, g, res)
 	if rep.Ok() {
 		t.Fatal("disconnected route not flagged")
 	}
@@ -75,7 +76,7 @@ func TestDetectsSharedMetal(t *testing.T) {
 	}
 	// Corrupt: graft one of net b's nodes into net a.
 	res.Routes[0].Nodes = append(res.Routes[0].Nodes, res.Routes[1].Nodes[2])
-	rep := Check(d, g, res)
+	rep := verify.Check(d, g, res)
 	ok := false
 	for _, e := range rep.Errors {
 		if strings.Contains(e, "shared with") {
@@ -96,7 +97,7 @@ func TestDetectsInvalidEdge(t *testing.T) {
 	// Append a diagonal "edge".
 	res.Routes[0].Edges = append(res.Routes[0].Edges,
 		grid.MakeEdge(g.ID(1, 1, tech.M2), g.ID(2, 2, tech.M2)))
-	rep := Check(d, g, res)
+	rep := verify.Check(d, g, res)
 	ok := false
 	for _, e := range rep.Errors {
 		if strings.Contains(e, "invalid edge") {
@@ -130,7 +131,7 @@ func TestDetectsLineEndViolation(t *testing.T) {
 		nr.Edges = append(nr.Edges, grid.MakeEdge(prev, id))
 		prev = id
 	}
-	rep := Check(d, g, res)
+	rep := verify.Check(d, g, res)
 	ok := false
 	for _, e := range rep.Errors {
 		if strings.Contains(e, "line-end spacing violation") {
@@ -160,7 +161,7 @@ func TestAllFlowsVerifyClean(t *testing.T) {
 		// grid still works, but Check only needs coordinates/blockage,
 		// which are immutable.
 		g := grid.New(d)
-		rep := Check(d, g, res.Router)
+		rep := verify.Check(d, g, res.Router)
 		if !rep.Ok() {
 			max := len(rep.Errors)
 			if max > 5 {

@@ -474,6 +474,52 @@ func BenchmarkIncrementalRerun(b *testing.B) {
 	}
 }
 
+// benchMultiSpec is the per-tile spec of the multi-region instance:
+// three bench-density tiles separated by 300 empty columns, which is
+// wider than twice the router's influence margin, so the tiles route as
+// three provably independent regions. A single-pin edit dirties one
+// tile and a strict rerun splices the other two byte-identically — the
+// path benchlarge (one connected region) never exercises.
+var benchMultiSpec = synth.Spec{Name: "benchmulti", Nets: 400, Width: 300, Height: 160, Seed: 13}
+
+func BenchmarkIncrementalRerunMultiRegion(b *testing.B) {
+	d, err := synth.GenerateMultiRegion(benchMultiSpec, 3, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev, err := core.Run(d, core.Options{Workers: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edited := benchEditOnePin(b, d)
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(edited, core.Options{Workers: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.PinOpt.Objective, "objective")
+		}
+	})
+	b.Run("strict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.Rerun(prev, edited, core.Options{Workers: 8, RerunMode: core.RerunStrict})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Incremental.RegionsSpliced == 0 {
+				b.Fatal("multi-region edit spliced no regions; tiles are not independent")
+			}
+			b.ReportMetric(res.PinOpt.Objective, "objective")
+			b.ReportMetric(float64(res.Incremental.Regions), "regions")
+			b.ReportMetric(float64(res.Incremental.RegionsSpliced), "regionsSpliced")
+			b.ReportMetric(float64(res.Incremental.NetsSpliced), "netsSpliced")
+			b.ReportMetric(float64(res.Incremental.NetsRerouted), "netsRerouted")
+		}
+	})
+}
+
 // BenchmarkIncrementalPinOpt isolates the optimization phase (the part
 // panel artifacts can skip; routing always runs in full): cold per-panel
 // optimization vs the same design answered from a warmed panel cache.

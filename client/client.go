@@ -86,12 +86,38 @@ func (c *Client) SubmitSpec(ctx context.Context, spec Spec, opts *Options) (*Job
 	return c.Submit(ctx, SubmitRequest{Spec: &spec, Options: opts})
 }
 
+// RerunMode values for Options.RerunMode, selecting the incremental
+// contract of a submission with a BaseJob.
+const (
+	// RerunStrict (the default, also selected by an empty RerunMode)
+	// splices only provably unaffected work: the result is byte-identical
+	// to a cold run of the same design, the baseline changes wall clock
+	// only.
+	RerunStrict = "strict"
+	// RerunEcoFast additionally warm-starts surviving nets of dirtied
+	// regions from the base's routes. Results are verified DRC-clean and
+	// objective-equal but route bytes may differ from a cold run, so
+	// eco-fast results are never cached or shared.
+	RerunEcoFast = "eco-fast"
+)
+
 // SubmitIncremental submits an edited design to rerun against a finished
 // base job: unchanged panels are spliced from the base's artifacts and
 // only the dirtied ones are recomputed. The result is byte-identical to
 // a cold submission of the same design.
 func (c *Client) SubmitIncremental(ctx context.Context, designText, baseJobID string, opts *Options) (*Job, error) {
 	return c.Submit(ctx, SubmitRequest{Design: designText, BaseJob: baseJobID, Options: opts})
+}
+
+// SubmitIncrementalMode is SubmitIncremental with an explicit rerun mode
+// (RerunStrict or RerunEcoFast), overriding any mode already in opts.
+func (c *Client) SubmitIncrementalMode(ctx context.Context, designText, baseJobID, mode string, opts *Options) (*Job, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o.RerunMode = mode
+	return c.Submit(ctx, SubmitRequest{Design: designText, BaseJob: baseJobID, Options: &o})
 }
 
 // Job fetches one job by ID.

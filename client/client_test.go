@@ -1,0 +1,79 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cpr/internal/httpapi"
+)
+
+// stubDaemon records the last submit body and answers with a canned job.
+func stubDaemon(t *testing.T) (*Client, *httpapi.SubmitRequest) {
+	t.Helper()
+	var last httpapi.SubmitRequest
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		last = httpapi.SubmitRequest{}
+		if err := json.NewDecoder(r.Body).Decode(&last); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(httpapi.Job{ID: "j1", State: "done", BaseJob: last.BaseJob})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return New(ts.URL), &last
+}
+
+func TestSubmitIncrementalSendsBaseJob(t *testing.T) {
+	c, last := stubDaemon(t)
+	job, err := c.SubmitIncremental(context.Background(), "design-text", "base-42", nil)
+	if err != nil {
+		t.Fatalf("SubmitIncremental: %v", err)
+	}
+	if job.ID != "j1" || job.BaseJob != "base-42" {
+		t.Fatalf("job = %+v", job)
+	}
+	if last.Design != "design-text" || last.BaseJob != "base-42" {
+		t.Fatalf("wire request = %+v, want design + base_job", last)
+	}
+	if last.Options != nil {
+		t.Fatalf("wire options = %+v, want absent", last.Options)
+	}
+}
+
+func TestSubmitIncrementalModeSetsRerunMode(t *testing.T) {
+	c, last := stubDaemon(t)
+	ctx := context.Background()
+
+	if _, err := c.SubmitIncrementalMode(ctx, "d", "base-1", RerunEcoFast, nil); err != nil {
+		t.Fatalf("SubmitIncrementalMode: %v", err)
+	}
+	if last.Options == nil || last.Options.RerunMode != "eco-fast" {
+		t.Fatalf("wire options = %+v, want rerun_mode eco-fast", last.Options)
+	}
+
+	// An explicit mode overrides the one in opts — without mutating the
+	// caller's options value.
+	opts := &Options{Workers: 3, RerunMode: RerunEcoFast}
+	if _, err := c.SubmitIncrementalMode(ctx, "d", "base-1", RerunStrict, opts); err != nil {
+		t.Fatalf("SubmitIncrementalMode: %v", err)
+	}
+	if last.Options == nil || last.Options.RerunMode != "strict" || last.Options.Workers != 3 {
+		t.Fatalf("wire options = %+v, want strict with workers preserved", last.Options)
+	}
+	if opts.RerunMode != RerunEcoFast {
+		t.Fatalf("caller's opts mutated: %+v", opts)
+	}
+}
+
+func TestRerunModeConstantsMatchWire(t *testing.T) {
+	// The constants must stay in sync with what the daemon parses; the
+	// wire strings are part of the API contract.
+	if RerunStrict != "strict" || RerunEcoFast != "eco-fast" {
+		t.Fatalf("rerun mode constants drifted: %q %q", RerunStrict, RerunEcoFast)
+	}
+}

@@ -7,6 +7,14 @@
 //	benchgen -out bench/                   # all six Table 2 circuits
 //	benchgen -out bench/ -circuits ecc,div # a subset
 //	benchgen -out bench/ -sweep 100,400    # Figure 6 sweep instances
+//	benchgen -out bench/ -circuits ecc -multiregion 4
+//
+// With -multiregion N > 1 each selected circuit is tiled N times
+// horizontally with -region-gap empty columns between tiles (written as
+// <name>xN.cprd). The gap exceeds twice the router's net influence
+// margin, so the tiles route as provably independent regions — the
+// shape that lets strict incremental reruns splice untouched regions
+// byte-identically.
 package main
 
 import (
@@ -25,9 +33,11 @@ import (
 
 func main() {
 	var (
-		out      = flag.String("out", ".", "output directory")
-		circuits = cliutil.Circuits(cliutil.AllCircuits, "")
-		sweep    = flag.String("sweep", "", "comma-separated pin counts for Figure 6 sweep instances")
+		out       = flag.String("out", ".", "output directory")
+		circuits  = cliutil.Circuits(cliutil.AllCircuits, "")
+		sweep     = flag.String("sweep", "", "comma-separated pin counts for Figure 6 sweep instances")
+		multi     = flag.Int("multiregion", 1, "tile each circuit this many times into separate routing regions (1 = off)")
+		regionGap = flag.Int("region-gap", 300, "empty columns between multi-region tiles (keep > 2x the router influence margin)")
 	)
 	flag.Parse()
 
@@ -54,7 +64,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		d, err := synth.Generate(spec)
+		var d *design.Design
+		if *multi > 1 {
+			spec.Name = fmt.Sprintf("%sx%d", spec.Name, *multi)
+			d, err = synth.GenerateMultiRegion(spec, *multi, *regionGap)
+		} else {
+			d, err = synth.Generate(spec)
+		}
 		if err != nil {
 			fatal(err)
 		}

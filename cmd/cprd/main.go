@@ -8,9 +8,11 @@
 //	cprd                                  # listen on :8080
 //	cprd -addr 127.0.0.1:9090 -max-jobs 4 -queue-cap 128
 //	cprd -job-timeout 2m -cache-cap 4096 -workers 0
+//	cprd -blockstore-dir /var/lib/cprd -peers http://node-a:8080,http://node-b:8080
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/trace,
-// GET /v1/healthz, GET /v1/stats, GET /metrics (Prometheus text),
+// GET/HEAD /v1/blocks/{key}, GET /v1/healthz, GET /v1/stats,
+// GET /metrics (Prometheus text),
 // GET /debug/vars. With -debug-addr a second listener serves
 // net/http/pprof profiles on a private address. On SIGTERM/SIGINT the
 // daemon stops accepting jobs, drains in-flight work (bounded by
@@ -27,16 +29,31 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"cpr/internal/blockstore"
 	"cpr/internal/cliutil"
 	"cpr/internal/core"
 	"cpr/internal/design"
+	"cpr/internal/exchange"
 	"cpr/internal/jobs"
 	"cpr/internal/server"
 	"cpr/internal/telemetry"
 )
+
+// splitPeers parses the comma-separated -peers value into a list of
+// base URLs, dropping empty entries so trailing commas are harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -50,12 +67,39 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 		debugAddr    = flag.String("debug-addr", "", "private listen address for net/http/pprof (empty = disabled)")
 		traceJobs    = flag.Bool("trace-jobs", true, "record a span trace per executed job (GET /v1/jobs/{id}/trace)")
+		peersFlag    = flag.String("peers", "", "comma-separated peer daemon base URLs to resolve cache misses from (e.g. http://node-a:8080,http://node-b:8080)")
+		storeDir     = flag.String("blockstore-dir", "", "directory for the persistent artifact blockstore (empty = in-memory)")
+		storeMax     = flag.Int64("blockstore-max-bytes", 256<<20, "blockstore size bound before LRU garbage collection (0 = unbounded)")
+		peerTimeout  = flag.Duration("peer-timeout", exchange.DefaultPeerTimeout, "per-peer block fetch deadline")
 		workers      = cliutil.Workers()
 	)
 	flag.Parse()
 
-	resultCache := jobs.NewResultCache(*cacheCap, *panelCap, *routeCap)
 	registry := telemetry.NewRegistry()
+
+	// The result cache always sits on a content-addressed blockstore:
+	// disk-backed (surviving restarts) when -blockstore-dir is set,
+	// in-memory otherwise. With -peers, misses additionally fan out to
+	// peer daemons over HTTP before falling back to recompute.
+	var store blockstore.Store
+	storeDesc := "mem"
+	if *storeDir != "" {
+		storeDesc = *storeDir
+		disk, err := blockstore.OpenDisk(*storeDir, blockstore.DiskOptions{MaxBytes: *storeMax})
+		if err != nil {
+			log.Fatalf("cprd: open blockstore %s: %v", *storeDir, err)
+		}
+		store = disk
+	} else {
+		store = blockstore.NewMem(*storeMax)
+	}
+	peers := splitPeers(*peersFlag)
+	var fetcher exchange.Fetcher
+	if len(peers) > 0 {
+		fetcher = exchange.NewHTTPFetcher(peers, exchange.HTTPOptions{Timeout: *peerTimeout})
+	}
+	exch := exchange.New(store, fetcher, registry)
+	resultCache := jobs.NewExchangedResultCache(*cacheCap, *panelCap, *routeCap, exch)
 	mgr := jobs.New(jobs.Config{
 		MaxConcurrent: *maxJobs,
 		QueueCap:      *queueCap,
@@ -76,7 +120,9 @@ func main() {
 		},
 	}, resultCache)
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(mgr).Handler()}
+	apiSrv := server.New(mgr)
+	apiSrv.SetExchange(exch, peers)
+	srv := &http.Server{Addr: *addr, Handler: apiSrv.Handler()}
 
 	// The pprof listener is separate from the API address so profiling
 	// endpoints can stay on a private interface.
@@ -97,8 +143,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("cprd: listening on %s (max-jobs=%d queue-cap=%d job-timeout=%v cache-cap=%d)",
-			*addr, *maxJobs, *queueCap, *jobTimeout, *cacheCap)
+		log.Printf("cprd: listening on %s (max-jobs=%d queue-cap=%d job-timeout=%v cache-cap=%d blockstore=%s peers=%d)",
+			*addr, *maxJobs, *queueCap, *jobTimeout, *cacheCap, storeDesc, len(peers))
 		errCh <- srv.ListenAndServe()
 	}()
 

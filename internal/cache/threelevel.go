@@ -20,21 +20,28 @@ func RouteKey(regionHash, routerFingerprint string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// ThreeLevel extends TwoLevel with a per-region route artifact level, so
-// an edited design that misses the design level reuses both the panel
-// artifacts and the route bundles its edit provably cannot affect.
+// ThreeLevel extends the two-level design/panel scheme with a
+// per-region route artifact level, so an edited design that misses the
+// design level reuses both the panel artifacts and the route bundles
+// its edit provably cannot affect. Each level is a Level: a plain
+// in-memory LRU (NewThreeLevel) or a block-backed one whose misses fall
+// through to a persistent store and peer daemons (NewBacked per level).
 type ThreeLevel[D, P, R any] struct {
-	TwoLevel[D, P]
+	// Design is the whole-design result level, keyed by Key.
+	Design Level[D]
+	// Panel is the per-panel artifact level, keyed by PanelKey.
+	Panel Level[P]
 	// Route is the per-region route artifact level, keyed by RouteKey.
-	Route *Cache[R]
+	Route Level[R]
 }
 
-// NewThreeLevel creates all three levels. Capacities <= 0 select the
-// default of 1024 entries per level.
+// NewThreeLevel creates all three levels as plain in-memory LRUs.
+// Capacities <= 0 select the default of 1024 entries per level.
 func NewThreeLevel[D, P, R any](designCap, panelCap, routeCap int) *ThreeLevel[D, P, R] {
 	return &ThreeLevel[D, P, R]{
-		TwoLevel: TwoLevel[D, P]{Design: New[D](designCap), Panel: New[P](panelCap)},
-		Route:    New[R](routeCap),
+		Design: New[D](designCap),
+		Panel:  New[P](panelCap),
+		Route:  New[R](routeCap),
 	}
 }
 

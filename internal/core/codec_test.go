@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cpr/internal/pipeline"
+	"cpr/internal/synth"
+)
+
+// TestResultCodecRoundtrip encodes the result of a real run and checks
+// the decode is exact (Router aside) and the encoding deterministic.
+func TestResultCodecRoundtrip(t *testing.T) {
+	d := mustGenerate(t, synth.Spec{Name: "codec", Nets: 80, Width: 120, Height: 50, Seed: 71})
+	res, err := Run(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Artifacts == nil {
+		t.Fatal("run retained no artifacts; codec test needs a cacheable run")
+	}
+
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("result encoding is not deterministic")
+	}
+
+	got, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Router != nil {
+		t.Fatal("decoded result carries router state")
+	}
+	if got.Mode != res.Mode {
+		t.Fatalf("Mode = %v, want %v", got.Mode, res.Mode)
+	}
+	if !reflect.DeepEqual(got.Metrics, res.Metrics) {
+		t.Fatalf("Metrics mismatch:\ngot  %+v\nwant %+v", got.Metrics, res.Metrics)
+	}
+	if !reflect.DeepEqual(got.PinOpt, res.PinOpt) {
+		t.Fatal("PinOpt mismatch after roundtrip")
+	}
+	if !reflect.DeepEqual(got.Incremental, res.Incremental) {
+		t.Fatal("Incremental mismatch after roundtrip")
+	}
+	if !reflect.DeepEqual(got.Artifacts, res.Artifacts) {
+		t.Fatal("Artifacts mismatch after roundtrip")
+	}
+
+	// Re-encoding the decoded result reproduces the block byte-for-byte:
+	// any node can re-serve a block it pulled from a peer.
+	data3, err := EncodeResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data3) {
+		t.Fatal("re-encoding a decoded result changed the block bytes")
+	}
+}
+
+// TestDecodedResultSplicesByteIdentical is the cluster-correctness
+// anchor: a Rerun from a decoded baseline (as pulled from a peer) must
+// be byte-identical to a Rerun from the original in-process baseline.
+func TestDecodedResultSplicesByteIdentical(t *testing.T) {
+	spec := synth.Spec{Name: "codec-eco", Nets: 100, Width: 140, Height: 60, Seed: 72}
+	d := mustGenerate(t, spec)
+	prev, err := Run(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeResult(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One random validity-preserving edit, so part of the design stays
+	// splice-clean.
+	edited := editDesign(t, mustGenerate(t, spec), rand.New(rand.NewSource(5)))
+
+	fromOrig, err := Rerun(prev, edited, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDecoded, err := Rerun(decoded, edited, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dumpRunResult(t, edited, fromOrig), dumpRunResult(t, edited, fromDecoded)) {
+		t.Fatal("rerun from a decoded baseline differs from rerun from the original")
+	}
+	if fromDecoded.Incremental == nil || fromDecoded.Incremental.Reused == 0 {
+		t.Fatal("decoded baseline spliced nothing; codec dropped reuse capability")
+	}
+
+	// Per-panel and per-route artifact blocks from the same run must also
+	// roundtrip exactly: they are what the panel/route cache levels serve.
+	for _, pa := range prev.Artifacts.Panels {
+		if pa.Key == "" {
+			continue
+		}
+		blk, err := pipeline.MarshalPanelArtifact(pa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := pipeline.UnmarshalPanelArtifact(blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back, pa) {
+			t.Fatalf("panel %d artifact roundtrip mismatch", pa.Panel)
+		}
+	}
+	for _, ra := range prev.Artifacts.Routes {
+		if ra.Key == "" {
+			continue
+		}
+		blk, err := pipeline.MarshalRouteArtifact(ra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := pipeline.UnmarshalRouteArtifact(blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back, ra) {
+			t.Fatalf("region %d artifact roundtrip mismatch", ra.Region)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package exchange resolves content-addressed blocks locally, then from
+// peer daemons — the middle layer of the artifact-exchange stack
+// (DESIGN.md §4g): internal/blockstore stores opaque blocks, this
+// package finds them, and internal/cache decodes them into typed
+// design/panel/route artifacts.
+//
+// The exchange is strictly observational: it never causes work on a
+// peer, it only copies blocks a peer already computed. A peer that is
+// missing a block answers 404 and the requesting node recomputes
+// locally, so a cluster degrades to N independent daemons, never to a
+// partial failure.
+package exchange
+
+import (
+	"context"
+	"sync"
+
+	"cpr/internal/blockstore"
+	"cpr/internal/telemetry"
+)
+
+// ErrNotFound reports a key that neither the local store nor any peer
+// could supply. It aliases blockstore.ErrNotFound so errors.Is works
+// across the whole stack.
+var ErrNotFound = blockstore.ErrNotFound
+
+// BlockPath is the URL prefix of the block endpoint every cprd node
+// serves; fetchers append the hex key.
+const BlockPath = "/v1/blocks/"
+
+// Fetcher resolves a key from remote peers. Implementations return
+// an error satisfying errors.Is(err, ErrNotFound) when no peer has the
+// block, and any other error for transport-level failure.
+type Fetcher interface {
+	Fetch(ctx context.Context, key string) ([]byte, error)
+}
+
+// Stats counts block resolutions by outcome.
+type Stats struct {
+	// Local counts keys answered from the local blockstore.
+	Local int64 `json:"local"`
+	// Peer counts keys fetched from a peer (and written back locally).
+	Peer int64 `json:"peer"`
+	// Miss counts keys nobody had; the caller recomputes.
+	Miss int64 `json:"miss"`
+	// PeerErrors counts peer fetches that failed with a transport error
+	// (timeouts, refused connections) rather than a clean 404.
+	PeerErrors int64 `json:"peer_errors"`
+}
+
+// flight is one in-progress peer fetch shared by concurrent callers.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// Service answers "give me the block for this key" by checking the
+// local store first and falling back to peers. Peer-fetched blocks are
+// written through to the local store so each block crosses the network
+// once per node. Concurrent requests for the same missing key are
+// deduplicated into a single peer fetch.
+//
+// A Service with a nil Fetcher is a valid single-node configuration:
+// it resolves locally or reports a miss.
+type Service struct {
+	store   blockstore.Store
+	fetcher Fetcher
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	stats   Stats
+
+	ctrLocal, ctrPeer, ctrMiss *telemetry.Counter
+}
+
+// New builds a Service over store. fetcher may be nil (no peers); reg
+// may be nil (no telemetry). With a registry, resolutions are counted
+// on cpr_blocks_total{source=local|peer|miss}.
+func New(store blockstore.Store, fetcher Fetcher, reg *telemetry.Registry) *Service {
+	const name = "cpr_blocks_total"
+	const help = "Content-addressed block resolutions by source."
+	return &Service{
+		store:    store,
+		fetcher:  fetcher,
+		flights:  make(map[string]*flight),
+		ctrLocal: reg.Counter(name, help, telemetry.L("source", "local")),
+		ctrPeer:  reg.Counter(name, help, telemetry.L("source", "peer")),
+		ctrMiss:  reg.Counter(name, help, telemetry.L("source", "miss")),
+	}
+}
+
+// Store exposes the underlying blockstore (the HTTP block endpoint
+// serves from it directly — peers get local blocks only, so a cluster
+// cannot fan a single miss out into a fetch storm).
+func (s *Service) Store() blockstore.Store { return s.store }
+
+// Put stores a block locally, making it servable to peers. Callers
+// (the cache layer) must only put keyed artifacts; keyless eco-fast
+// artifacts never reach a Put.
+func (s *Service) Put(key string, data []byte) error {
+	return s.store.Put(key, data)
+}
+
+// Has reports local presence only; it never asks peers.
+func (s *Service) Has(key string) (bool, error) {
+	return s.store.Has(key)
+}
+
+// GetBlock resolves key: local store, then peers (one fetch per key at
+// a time; concurrent callers share the result). Peer-fetched blocks
+// are written back to the local store before returning. A miss from
+// everyone returns ErrNotFound.
+func (s *Service) GetBlock(ctx context.Context, key string) ([]byte, error) {
+	data, err := s.store.Get(key)
+	switch {
+	case err == nil:
+		s.count(&s.stats.Local, s.ctrLocal)
+		return data, nil
+	case err != blockstore.ErrNotFound:
+		return nil, err
+	}
+	if s.fetcher == nil {
+		s.count(&s.stats.Miss, s.ctrMiss)
+		return nil, ErrNotFound
+	}
+
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.data, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	f.data, f.err = s.fetchAndStore(ctx, key)
+	s.mu.Lock()
+	delete(s.flights, key)
+	s.mu.Unlock()
+	close(f.done)
+	return f.data, f.err
+}
+
+// fetchAndStore runs the actual peer fetch for one deduplicated key.
+func (s *Service) fetchAndStore(ctx context.Context, key string) ([]byte, error) {
+	data, err := s.fetcher.Fetch(ctx, key)
+	if err != nil {
+		if err != blockstore.ErrNotFound {
+			s.mu.Lock()
+			s.stats.PeerErrors++
+			s.mu.Unlock()
+		}
+		s.count(&s.stats.Miss, s.ctrMiss)
+		return nil, ErrNotFound
+	}
+	// Write through so this node serves the block from now on. A failing
+	// local store only loses the write-through: the fetched bytes are
+	// still returned to the caller.
+	_ = s.store.Put(key, data)
+	s.count(&s.stats.Peer, s.ctrPeer)
+	return data, nil
+}
+
+// count bumps one stats field and its telemetry counter.
+func (s *Service) count(field *int64, ctr *telemetry.Counter) {
+	s.mu.Lock()
+	*field++
+	s.mu.Unlock()
+	ctr.Inc()
+}
+
+// Stats snapshots the resolution counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

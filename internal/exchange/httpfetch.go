@@ -1,0 +1,180 @@
+package exchange
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"cpr/internal/blockstore"
+)
+
+// Default tuning for the HTTP fetcher. Fetches sit on the job hot path
+// only when the local store is cold, and the fallback (recompute) is
+// always available, so the budget per peer is small.
+const (
+	DefaultPeerTimeout = 2 * time.Second
+	defaultBackoffBase = 500 * time.Millisecond
+	defaultBackoffMax  = 30 * time.Second
+)
+
+// HTTPOptions tunes NewHTTPFetcher.
+type HTTPOptions struct {
+	// Timeout bounds each single-peer request (default DefaultPeerTimeout).
+	Timeout time.Duration
+	// BackoffBase is the penalty after a peer's first transport failure;
+	// it doubles per consecutive failure up to BackoffMax. A clean
+	// response (200 or 404) resets the penalty.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// peerState tracks one peer's health for backoff.
+type peerState struct {
+	base     string // normalized base URL, no trailing slash
+	failures int
+	until    time.Time // in backoff until this instant
+}
+
+// HTTPFetcher resolves blocks from a static list of peer daemons over
+// cprd's GET /v1/blocks/{key} endpoint. Peers are tried in order; a
+// peer that fails at the transport level (refused, timeout, 5xx) is
+// skipped for an exponentially growing window so one dead peer cannot
+// slow every cold lookup.
+type HTTPFetcher struct {
+	client  *http.Client
+	timeout time.Duration
+	base    time.Duration
+	max     time.Duration
+	now     func() time.Time // injectable for tests
+
+	mu    sync.Mutex
+	peers []*peerState
+}
+
+// NewHTTPFetcher builds a fetcher over peer base URLs (for example
+// "http://nodeA:8080"). Empty strings are dropped; a scheme-less peer
+// gets "http://".
+func NewHTTPFetcher(peers []string, opts HTTPOptions) *HTTPFetcher {
+	f := &HTTPFetcher{
+		client:  opts.Client,
+		timeout: opts.Timeout,
+		base:    opts.BackoffBase,
+		max:     opts.BackoffMax,
+		now:     time.Now,
+	}
+	if f.client == nil {
+		f.client = &http.Client{}
+	}
+	if f.timeout <= 0 {
+		f.timeout = DefaultPeerTimeout
+	}
+	if f.base <= 0 {
+		f.base = defaultBackoffBase
+	}
+	if f.max <= 0 {
+		f.max = defaultBackoffMax
+	}
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		f.peers = append(f.peers, &peerState{base: strings.TrimRight(p, "/")})
+	}
+	return f
+}
+
+// Peers returns the configured peer base URLs.
+func (f *HTTPFetcher) Peers() []string {
+	out := make([]string, len(f.peers))
+	for i, p := range f.peers {
+		out[i] = p.base
+	}
+	return out
+}
+
+// Fetch tries each healthy peer in order and returns the first block
+// found. Every peer answering 404 (or being skipped/unreachable) is a
+// clean miss: ErrNotFound.
+func (f *HTTPFetcher) Fetch(ctx context.Context, key string) ([]byte, error) {
+	if !blockstore.ValidKey(key) {
+		return nil, fmt.Errorf("exchange: malformed key %q", key)
+	}
+	for _, p := range f.peers {
+		if f.inBackoff(p) {
+			continue
+		}
+		data, err := f.fetchOne(ctx, p.base, key)
+		switch {
+		case err == nil:
+			f.markOK(p)
+			return data, nil
+		case err == blockstore.ErrNotFound:
+			f.markOK(p) // the peer is healthy, it just lacks the block
+		case ctx.Err() != nil:
+			return nil, ctx.Err()
+		default:
+			f.markFailed(p)
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// fetchOne performs one GET against one peer with the per-peer timeout.
+func (f *HTTPFetcher) fetchOne(ctx context.Context, base, key string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+BlockPath+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return io.ReadAll(resp.Body)
+	case http.StatusNotFound:
+		return nil, blockstore.ErrNotFound
+	default:
+		return nil, fmt.Errorf("exchange: peer %s: status %d", base, resp.StatusCode)
+	}
+}
+
+// inBackoff reports whether the peer is still serving a failure penalty.
+func (f *HTTPFetcher) inBackoff(p *peerState) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return p.failures > 0 && f.now().Before(p.until)
+}
+
+// markOK clears a peer's backoff after any clean response.
+func (f *HTTPFetcher) markOK(p *peerState) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p.failures = 0
+}
+
+// markFailed records a transport failure and extends the peer's penalty
+// window exponentially (base << failures, capped at max).
+func (f *HTTPFetcher) markFailed(p *peerState) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p.failures++
+	d := f.base << (p.failures - 1)
+	if d > f.max || d <= 0 {
+		d = f.max
+	}
+	p.until = f.now().Add(d)
+}

@@ -4,7 +4,9 @@
 package httpapi
 
 import (
+	"cpr/internal/blockstore"
 	"cpr/internal/cache"
+	"cpr/internal/exchange"
 	"cpr/internal/jobs"
 	"cpr/internal/metrics"
 )
@@ -153,6 +155,15 @@ type Stats struct {
 	RouteCache        cache.Stats                `json:"route_cache"`
 	RouteCacheHitRate float64                    `json:"route_cache_hit_rate"`
 	Stages            map[string]jobs.StageStats `json:"stage_latency"`
+	// Blockstore snapshots the local content-addressed block store
+	// backing the cache levels; absent on daemons running without one.
+	Blockstore *blockstore.Stats `json:"blockstore,omitempty"`
+	// Exchange counts block resolutions by source (local / peer / miss);
+	// absent without a block-backed cache.
+	Exchange *exchange.Stats `json:"exchange,omitempty"`
+	// Peers lists the configured peer base URLs the exchange fetches
+	// from; empty for a single-node daemon.
+	Peers []string `json:"peers,omitempty"`
 }
 
 // Health is the body of GET /v1/healthz.

@@ -38,6 +38,29 @@ func NewResultCache(designCap, panelCap, routeCap int) *ResultCache {
 	return cache.NewThreeLevel[*core.RunResult, *pipeline.PanelArtifact, *pipeline.RouteArtifact](designCap, panelCap, routeCap)
 }
 
+// NewExchangedResultCache creates the three-level cache on top of a
+// block source (exchange.Service): every level keeps its typed
+// in-memory LRU, but misses fall through to the content-addressed block
+// store — and, when the source has peers, to other daemons — and puts
+// write blocks through, making them durable and servable. Decoded panel
+// and route artifacts are verified to carry the requested key before
+// they are spliced; design-level results don't carry their key (it
+// covers the design bytes, which the result does not retain), so they
+// rely on the key's collision resistance alone, exactly like the
+// in-memory design level always has.
+func NewExchangedResultCache(designCap, panelCap, routeCap int, src cache.BlockSource) *ResultCache {
+	return &ResultCache{
+		Design: cache.NewBacked[*core.RunResult](designCap, src,
+			core.EncodeResult, core.DecodeResult, nil),
+		Panel: cache.NewBacked[*pipeline.PanelArtifact](panelCap, src,
+			pipeline.MarshalPanelArtifact, pipeline.UnmarshalPanelArtifact,
+			func(a *pipeline.PanelArtifact) string { return a.Key }),
+		Route: cache.NewBacked[*pipeline.RouteArtifact](routeCap, src,
+			pipeline.MarshalRouteArtifact, pipeline.UnmarshalRouteArtifact,
+			func(a *pipeline.RouteArtifact) string { return a.Key }),
+	}
+}
+
 // State is a job's lifecycle state. Terminal states are StateDone and
 // StateFailed; a canceled or timed-out job lands in StateFailed.
 type State int
@@ -501,15 +524,34 @@ func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID stri
 		key = cache.Key(hash, fp)
 	}
 
+	// The design-level lookup happens outside the manager lock: on a
+	// block-backed cache a miss may fetch from peer daemons, and that
+	// network round-trip must never serialize unrelated submissions.
+	// Draining and coalescing are (re-)checked under the lock afterwards.
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.draining {
 		m.rejectedDrain++
 		m.mRejectedDrn.Inc()
+		m.mu.Unlock()
 		return nil, ErrDraining
 	}
+	if cacheable {
+		if existing, ok := m.inflight[key]; ok {
+			m.mu.Unlock()
+			return existing, nil
+		}
+	}
+	m.mu.Unlock()
+
 	if cacheable && m.cache != nil {
 		if res, ok := m.cache.Design.Get(key); ok {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			if m.draining {
+				m.rejectedDrain++
+				m.mRejectedDrn.Inc()
+				return nil, ErrDraining
+			}
 			job := m.newJobLocked(key, d, opts)
 			job.BaseJobID = baseJobID
 			now := time.Now()
@@ -524,7 +566,17 @@ func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID stri
 			return job, nil
 		}
 	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.rejectedDrain++
+		m.mRejectedDrn.Inc()
+		return nil, ErrDraining
+	}
 	if cacheable {
+		// Re-check: an identical submission may have queued while the
+		// cache lookup ran unlocked.
 		if existing, ok := m.inflight[key]; ok {
 			return existing, nil
 		}

@@ -1,0 +1,85 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Block codecs: the bridge between typed stage artifacts and the opaque
+// blocks of internal/blockstore. Encoding is canonical JSON — fixed
+// struct field order, map keys sorted by encoding/json, floats rendered
+// losslessly — so the same artifact value encodes to the same bytes on
+// every node, and decoding is exact (float64 round-trips bit-for-bit).
+//
+// Every block carries a format version. A node that receives a block
+// from a peer running a different artifact schema fails the decode and
+// falls back to recomputing — a version skew inside a cluster degrades
+// to cache misses, never to corrupt artifacts.
+
+// codecVersion is the current block format version, shared by the panel
+// and route codecs (they version together: both change when the
+// artifact schema does).
+const codecVersion = 1
+
+// panelEnvelope wraps a PanelArtifact block.
+type panelEnvelope struct {
+	V     int            `json:"v"`
+	Panel *PanelArtifact `json:"panel"`
+}
+
+// routeEnvelope wraps a RouteArtifact block.
+type routeEnvelope struct {
+	V     int            `json:"v"`
+	Route *RouteArtifact `json:"route"`
+}
+
+// MarshalPanelArtifact encodes a panel artifact as a block. Keyless
+// (uncacheable) artifacts are rejected: they must never reach a store.
+func MarshalPanelArtifact(a *PanelArtifact) ([]byte, error) {
+	if a == nil || a.Key == "" {
+		return nil, fmt.Errorf("pipeline: refusing to encode keyless panel artifact")
+	}
+	return json.Marshal(panelEnvelope{V: codecVersion, Panel: a})
+}
+
+// UnmarshalPanelArtifact decodes a panel artifact block, checking the
+// format version and that the artifact is keyed.
+func UnmarshalPanelArtifact(data []byte) (*PanelArtifact, error) {
+	var env panelEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("pipeline: decoding panel block: %w", err)
+	}
+	if env.V != codecVersion {
+		return nil, fmt.Errorf("pipeline: panel block version %d, want %d", env.V, codecVersion)
+	}
+	if env.Panel == nil || env.Panel.Key == "" {
+		return nil, fmt.Errorf("pipeline: panel block missing keyed artifact")
+	}
+	return env.Panel, nil
+}
+
+// MarshalRouteArtifact encodes a route artifact as a block. Keyless
+// artifacts (eco-fast products, legal but not byte-reproducible) are
+// rejected: they must never be stored or served.
+func MarshalRouteArtifact(a *RouteArtifact) ([]byte, error) {
+	if a == nil || a.Key == "" {
+		return nil, fmt.Errorf("pipeline: refusing to encode keyless route artifact")
+	}
+	return json.Marshal(routeEnvelope{V: codecVersion, Route: a})
+}
+
+// UnmarshalRouteArtifact decodes a route artifact block, checking the
+// format version and that the artifact is keyed.
+func UnmarshalRouteArtifact(data []byte) (*RouteArtifact, error) {
+	var env routeEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("pipeline: decoding route block: %w", err)
+	}
+	if env.V != codecVersion {
+		return nil, fmt.Errorf("pipeline: route block version %d, want %d", env.V, codecVersion)
+	}
+	if env.Route == nil || env.Route.Key == "" {
+		return nil, fmt.Errorf("pipeline: route block missing keyed artifact")
+	}
+	return env.Route, nil
+}

@@ -1,0 +1,136 @@
+package pipeline
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cpr/internal/assign"
+	"cpr/internal/geom"
+	"cpr/internal/grid"
+	"cpr/internal/pinaccess"
+	"cpr/internal/router"
+)
+
+func samplePanelArtifact(key string) *PanelArtifact {
+	return &PanelArtifact{
+		Panel: 3,
+		Key:   key,
+		Intervals: &IntervalSet{Set: &pinaccess.Set{
+			Intervals: []pinaccess.Interval{
+				{ID: 0, NetID: 7, Track: 12, Span: geom.Interval{Lo: 4, Hi: 9}, PinIDs: []int{2}, MinForPin: 2},
+				{ID: 1, NetID: 7, Track: 13, Span: geom.Interval{Lo: 0, Hi: 5}, PinIDs: []int{2, 5}, MinForPin: -1},
+			},
+			PinIDs: []int{2, 5},
+			ByPin:  map[int][]int{2: {0, 1}, 5: {1}},
+		}},
+		Assignment: &Assignment{
+			Solution: &assign.Solution{
+				Selected:   []bool{true, false},
+				ByPin:      map[int]int{2: 0},
+				Objective:  12.625, // exact binary fraction: survives any float codec
+				Violations: 0,
+			},
+			Converged: true,
+		},
+		NumConflicts: 4,
+	}
+}
+
+func sampleRouteArtifact(key string) *RouteArtifact {
+	return &RouteArtifact{
+		Region: 1,
+		Key:    key,
+		Nets:   []int{4, 9},
+		Names:  []string{"net4", "net9"},
+		Sigs:   []string{strings.Repeat("a", 64), strings.Repeat("b", 64)},
+		Routes: []*router.NetRoute{
+			{
+				NetID:   4,
+				Nodes:   []grid.NodeID{10, 11, 12},
+				Edges:   []grid.Edge{{From: 10, To: 11}, {From: 11, To: 12}},
+				Virtual: []grid.NodeID{13},
+				Routed:  true,
+			},
+			{NetID: 9, Routed: false, FailReason: "congestion"},
+		},
+		Summary: router.RegionSummary{Nets: 2, InitialCongested: 5, NegotiationIters: 3, CongestionUnrouted: 1},
+	}
+}
+
+func TestPanelArtifactRoundtrip(t *testing.T) {
+	key := strings.Repeat("1", 64)
+	a := samplePanelArtifact(key)
+	data, err := MarshalPanelArtifact(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := MarshalPanelArtifact(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("panel encoding is not deterministic")
+	}
+	got, err := UnmarshalPanelArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("roundtrip mismatch:\ngot  %+v\nwant %+v", got, a)
+	}
+}
+
+func TestRouteArtifactRoundtrip(t *testing.T) {
+	key := strings.Repeat("2", 64)
+	a := sampleRouteArtifact(key)
+	data, err := MarshalRouteArtifact(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalRouteArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("roundtrip mismatch:\ngot  %+v\nwant %+v", got, a)
+	}
+}
+
+func TestCodecRejectsKeylessArtifacts(t *testing.T) {
+	if _, err := MarshalPanelArtifact(samplePanelArtifact("")); err == nil {
+		t.Fatal("keyless panel artifact was encoded")
+	}
+	if _, err := MarshalRouteArtifact(sampleRouteArtifact("")); err == nil {
+		t.Fatal("keyless route artifact was encoded")
+	}
+	if _, err := MarshalPanelArtifact(nil); err == nil {
+		t.Fatal("nil panel artifact was encoded")
+	}
+	if _, err := MarshalRouteArtifact(nil); err == nil {
+		t.Fatal("nil route artifact was encoded")
+	}
+}
+
+func TestCodecRejectsVersionSkew(t *testing.T) {
+	data, err := MarshalPanelArtifact(samplePanelArtifact(strings.Repeat("3", 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := bytes.Replace(data, []byte(`{"v":1`), []byte(`{"v":99`), 1)
+	if _, err := UnmarshalPanelArtifact(skewed); err == nil {
+		t.Fatal("panel block with a future version was decoded")
+	}
+	rdata, err := MarshalRouteArtifact(sampleRouteArtifact(strings.Repeat("4", 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rskewed := bytes.Replace(rdata, []byte(`{"v":1`), []byte(`{"v":99`), 1)
+	if _, err := UnmarshalRouteArtifact(rskewed); err == nil {
+		t.Fatal("route block with a future version was decoded")
+	}
+	if _, err := UnmarshalPanelArtifact([]byte("not json")); err == nil {
+		t.Fatal("garbage block was decoded")
+	}
+}

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"cpr/client"
+	"cpr/internal/blockstore"
+	"cpr/internal/exchange"
+	"cpr/internal/jobs"
+	"cpr/internal/telemetry"
+)
+
+// clusterNode is one cprd daemon wired the way cmd/cprd wires it: a
+// block-backed result cache over a local store, optionally fetching
+// misses from peer daemons, serving /v1/blocks from the local store.
+type clusterNode struct {
+	mgr    *jobs.Manager
+	exch   *exchange.Service
+	client *client.Client
+	url    string
+	close  func()
+}
+
+// newClusterNode starts a node on an httptest listener. store survives
+// the node when the caller owns it (the restart test reuses a disk
+// store across two node lifetimes).
+func newClusterNode(t *testing.T, store blockstore.Store, peers []string) *clusterNode {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	var fetcher exchange.Fetcher
+	if len(peers) > 0 {
+		fetcher = exchange.NewHTTPFetcher(peers, exchange.HTTPOptions{Timeout: 5 * time.Second})
+	}
+	exch := exchange.New(store, fetcher, reg)
+	mgr := jobs.New(jobs.Config{MaxConcurrent: 2, Metrics: reg},
+		jobs.NewExchangedResultCache(64, 256, 256, exch))
+	srv := New(mgr)
+	srv.SetExchange(exch, peers)
+	ts := httptest.NewServer(srv.Handler())
+	n := &clusterNode{mgr: mgr, exch: exch, client: client.New(ts.URL), url: ts.URL, close: ts.Close}
+	t.Cleanup(ts.Close)
+	return n
+}
+
+func scrapeMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	return string(body)
+}
+
+// stripTiming zeroes the wall-clock fields of a wire result in place:
+// two independent computes of the same design agree on everything else.
+func stripTiming(r *client.Result) {
+	r.Metrics.CPUSeconds = 0
+	r.Metrics.OptimizeSeconds = 0
+	r.Metrics.RouteSeconds = 0
+	r.Metrics.VerifySeconds = 0
+	if r.PinOpt != nil {
+		r.PinOpt.ElapsedMS = 0
+	}
+}
+
+// TestTwoNodeClusterResolvesBlocksFromPeer is the cluster contract
+// end-to-end: node A computes a result cold; node B, configured with A
+// as a peer, serves the identical submission from A's blocks without
+// running the optimizer, and its exchange counters attribute the blocks
+// to the peer.
+func TestTwoNodeClusterResolvesBlocksFromPeer(t *testing.T) {
+	ctx := context.Background()
+	nodeA := newClusterNode(t, blockstore.NewMem(0), nil)
+	nodeB := newClusterNode(t, blockstore.NewMem(0), []string{nodeA.url})
+
+	first, err := nodeA.client.Submit(ctx, client.SubmitRequest{Spec: &smallSpec, Wait: true})
+	if err != nil {
+		t.Fatalf("node A submit: %v", err)
+	}
+	if first.State != "done" || first.Cached {
+		t.Fatalf("node A job = %+v, want done uncached", first)
+	}
+
+	second, err := nodeB.client.Submit(ctx, client.SubmitRequest{Spec: &smallSpec, Wait: true})
+	if err != nil {
+		t.Fatalf("node B submit: %v", err)
+	}
+	if second.State != "done" || !second.Cached {
+		t.Fatalf("node B job = %+v, want served from peer blocks without running", second)
+	}
+	if !reflect.DeepEqual(first.Result, second.Result) {
+		t.Fatalf("peer-resolved result differs:\n A %+v\n B %+v", first.Result, second.Result)
+	}
+
+	exSt := nodeB.exch.Stats()
+	if exSt.Peer == 0 {
+		t.Fatalf("node B exchange stats = %+v, want peer resolutions > 0", exSt)
+	}
+	if exSt.PeerErrors != 0 {
+		t.Fatalf("node B exchange stats = %+v, want no peer errors", exSt)
+	}
+
+	// The wire surfaces the same attribution: /v1/stats carries the
+	// exchange counters and peer list, /metrics the labeled series.
+	st, err := nodeB.client.Stats(ctx)
+	if err != nil {
+		t.Fatalf("node B stats: %v", err)
+	}
+	if st.Exchange == nil || st.Exchange.Peer == 0 {
+		t.Fatalf("wire stats exchange = %+v, want peer > 0", st.Exchange)
+	}
+	if st.Blockstore == nil || st.Blockstore.Blocks == 0 {
+		t.Fatalf("wire stats blockstore = %+v, want blocks > 0 (write-through)", st.Blockstore)
+	}
+	if len(st.Peers) != 1 || st.Peers[0] != nodeA.url {
+		t.Fatalf("wire stats peers = %v, want [%s]", st.Peers, nodeA.url)
+	}
+	mtx := scrapeMetrics(t, nodeB.url)
+	if !strings.Contains(mtx, `cpr_blocks_total{source="peer"}`) {
+		t.Fatalf("node B /metrics missing peer-sourced block counter:\n%s", mtx)
+	}
+
+	// Node A must not have fetched anything in return: serving blocks is
+	// strictly observational.
+	if aSt := nodeA.exch.Stats(); aSt.Peer != 0 {
+		t.Fatalf("node A exchange stats = %+v, want no peer fetches", aSt)
+	}
+
+	// Node B re-serves the block-resolved result from its own store now:
+	// a third submission must not touch the peer again.
+	peerBefore := nodeB.exch.Stats().Peer
+	third, err := nodeB.client.Submit(ctx, client.SubmitRequest{Spec: &smallSpec, Wait: true})
+	if err != nil {
+		t.Fatalf("node B resubmit: %v", err)
+	}
+	if !third.Cached {
+		t.Fatalf("node B resubmit = %+v, want cached", third)
+	}
+	if after := nodeB.exch.Stats().Peer; after != peerBefore {
+		t.Fatalf("resubmission refetched from peer: %d -> %d", peerBefore, after)
+	}
+}
+
+// TestClusterPeerDownFallsBackToCompute proves the exchange is strictly
+// an accelerator: with its only peer unreachable, a node still computes
+// the result itself, identically.
+func TestClusterPeerDownFallsBackToCompute(t *testing.T) {
+	ctx := context.Background()
+	nodeA := newClusterNode(t, blockstore.NewMem(0), nil)
+	ref, err := nodeA.client.Submit(ctx, client.SubmitRequest{Spec: &smallSpec, Wait: true})
+	if err != nil {
+		t.Fatalf("reference submit: %v", err)
+	}
+
+	// 127.0.0.1:1 refuses connections immediately.
+	nodeB := newClusterNode(t, blockstore.NewMem(0), []string{"http://127.0.0.1:1"})
+	got, err := nodeB.client.Submit(ctx, client.SubmitRequest{Spec: &smallSpec, Wait: true})
+	if err != nil {
+		t.Fatalf("node B submit: %v", err)
+	}
+	if got.State != "done" || got.Cached {
+		t.Fatalf("node B job = %+v, want computed locally", got)
+	}
+	stripTiming(ref.Result)
+	stripTiming(got.Result)
+	if !reflect.DeepEqual(ref.Result, got.Result) {
+		t.Fatalf("fallback result differs:\n ref %+v\n got %+v", ref.Result, got.Result)
+	}
+	if exSt := nodeB.exch.Stats(); exSt.Peer != 0 || exSt.Miss == 0 {
+		t.Fatalf("node B exchange stats = %+v, want misses and no peer hits", exSt)
+	}
+}
+
+// TestDiskBlockstoreSurvivesRestart kills a node and starts a fresh one
+// on the same blockstore directory: the new node serves the old node's
+// result without recompute, even though every in-memory cache level
+// started empty.
+func TestDiskBlockstoreSurvivesRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	store, err := blockstore.OpenDisk(dir, blockstore.DiskOptions{})
+	if err != nil {
+		t.Fatalf("open blockstore: %v", err)
+	}
+	nodeA := newClusterNode(t, store, nil)
+	first, err := nodeA.client.Submit(ctx, client.SubmitRequest{Spec: &smallSpec, Wait: true})
+	if err != nil {
+		t.Fatalf("submit before restart: %v", err)
+	}
+	if first.Cached {
+		t.Fatalf("first run = %+v, want computed", first)
+	}
+	nodeA.close()
+
+	reopened, err := blockstore.OpenDisk(dir, blockstore.DiskOptions{})
+	if err != nil {
+		t.Fatalf("reopen blockstore: %v", err)
+	}
+	nodeB := newClusterNode(t, reopened, nil)
+	second, err := nodeB.client.Submit(ctx, client.SubmitRequest{Spec: &smallSpec, Wait: true})
+	if err != nil {
+		t.Fatalf("submit after restart: %v", err)
+	}
+	if second.State != "done" || !second.Cached {
+		t.Fatalf("post-restart job = %+v, want served from disk blocks", second)
+	}
+	if !reflect.DeepEqual(first.Result, second.Result) {
+		t.Fatalf("post-restart result differs:\n before %+v\n after  %+v", first.Result, second.Result)
+	}
+	st, err := nodeB.client.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Stages["run"].Count != 0 {
+		t.Fatalf("run stage count = %d, want 0 (no recompute after restart)", st.Stages["run"].Count)
+	}
+	if st.Exchange == nil || st.Exchange.Local == 0 {
+		t.Fatalf("exchange stats = %+v, want local resolutions > 0", st.Exchange)
+	}
+}
+
+// TestBlocksEndpointServesLocalOnly pins the anti-storm contract at the
+// HTTP surface: a node answers /v1/blocks for blocks it holds, 404s
+// blocks it does not — without consulting its own peers — and rejects
+// malformed keys before touching the store.
+func TestBlocksEndpointServesLocalOnly(t *testing.T) {
+	nodeA := newClusterNode(t, blockstore.NewMem(0), nil)
+	// nodeB peers with A and holds nothing: a block request to B must
+	// not be forwarded to A.
+	nodeB := newClusterNode(t, blockstore.NewMem(0), []string{nodeA.url})
+
+	key := strings.Repeat("ab", 32)
+	if err := nodeA.exch.Put(key, []byte("payload")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	resp, err := http.Get(nodeA.url + exchange.BlockPath + key)
+	if err != nil {
+		t.Fatalf("GET block: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "payload" {
+		t.Fatalf("GET block = %d %q, want 200 payload", resp.StatusCode, body)
+	}
+
+	resp, err = http.Head(nodeA.url + exchange.BlockPath + key)
+	if err != nil {
+		t.Fatalf("HEAD block: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD block = %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get(nodeB.url + exchange.BlockPath + key)
+	if err != nil {
+		t.Fatalf("GET block from B: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET absent block = %d, want 404 (no transitive fetch)", resp.StatusCode)
+	}
+	if exSt := nodeB.exch.Stats(); exSt.Peer != 0 {
+		t.Fatalf("serving /v1/blocks triggered a peer fetch: %+v", exSt)
+	}
+
+	resp, err = http.Get(nodeA.url + exchange.BlockPath + "not-a-key")
+	if err != nil {
+		t.Fatalf("GET malformed: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET malformed key = %d, want 400", resp.StatusCode)
+	}
+}

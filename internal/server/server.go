@@ -4,6 +4,7 @@
 //	POST /v1/jobs             submit a design (inline or synthesized from a spec)
 //	GET  /v1/jobs/{id}        job status / result / error
 //	GET  /v1/jobs/{id}/trace  per-job span trace (Chrome trace_event or JSON)
+//	GET  /v1/blocks/{key}     one content-addressed block from the local store (HEAD: presence)
 //	GET  /v1/healthz          liveness and drain state
 //	GET  /v1/stats            queue depth, cache hit rate, per-stage latencies
 //	GET  /metrics             Prometheus text exposition of the manager's registry
@@ -28,9 +29,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cpr/internal/blockstore"
 	"cpr/internal/core"
 	"cpr/internal/design"
 	"cpr/internal/designio"
+	"cpr/internal/exchange"
 	"cpr/internal/httpapi"
 	"cpr/internal/jobs"
 	"cpr/internal/synth"
@@ -43,7 +46,9 @@ const maxRequestBytes = 32 << 20
 
 // Server routes HTTP requests to a jobs.Manager.
 type Server struct {
-	mgr *jobs.Manager
+	mgr   *jobs.Manager
+	exch  *exchange.Service
+	peers []string
 }
 
 // New wires a server to its manager and registers the manager's stats
@@ -54,6 +59,17 @@ func New(mgr *jobs.Manager) *Server {
 	currentManager.Store(mgr)
 	publishExpvars()
 	return s
+}
+
+// SetExchange attaches the block exchange service. The server then
+// serves GET/HEAD /v1/blocks/{key} from the service's local store —
+// never by fetching from its own peers, so one cluster-wide miss costs
+// each node at most one fan-out instead of a fetch storm — and includes
+// blockstore and exchange counters in /v1/stats. peers is the
+// configured peer list, echoed in stats for operability.
+func (s *Server) SetExchange(svc *exchange.Service, peers []string) {
+	s.exch = svc
+	s.peers = peers
 }
 
 // The expvar registry is process-global and Publish panics on duplicate
@@ -81,6 +97,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleGetTrace)
+	mux.HandleFunc("GET /v1/blocks/{key}", s.handleGetBlock)
+	mux.HandleFunc("HEAD /v1/blocks/{key}", s.handleGetBlock)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -189,6 +207,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.mgr.Metrics().WritePrometheus(w)
 }
 
+// handleGetBlock serves one content-addressed block from the local
+// store. Strictly observational: a node answers only with blocks it
+// already holds (404 otherwise) and never computes or forwards on a
+// peer's behalf. HEAD reports presence without the body.
+func (s *Server) handleGetBlock(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if s.exch == nil {
+		writeError(w, http.StatusNotFound, errors.New("no block exchange configured"))
+		return
+	}
+	if !blockstore.ValidKey(key) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed block key %q", key))
+		return
+	}
+	if r.Method == http.MethodHead {
+		ok, err := s.exch.Has(key)
+		if err != nil || !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	data, err := s.exch.Store().Get(key)
+	switch {
+	case errors.Is(err, blockstore.ErrNotFound):
+		writeError(w, http.StatusNotFound, fmt.Errorf("no block for key %s", key))
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.mgr.Stats()
 	writeJSON(w, http.StatusOK, httpapi.Health{Status: "ok", Draining: st.Draining})
@@ -196,6 +251,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.mgr.Stats()
+	var bsStats *blockstore.Stats
+	var exStats *exchange.Stats
+	var peers []string
+	if s.exch != nil {
+		bs := s.exch.Store().Stats()
+		bsStats = &bs
+		ex := s.exch.Stats()
+		exStats = &ex
+		peers = s.peers
+	}
 	writeJSON(w, http.StatusOK, httpapi.Stats{
 		QueueDepth:        st.QueueDepth,
 		QueueCap:          st.QueueCap,
@@ -211,6 +276,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RouteCache:        st.RouteCache,
 		RouteCacheHitRate: st.RouteCacheHitRate,
 		Stages:            st.Stages,
+		Blockstore:        bsStats,
+		Exchange:          exStats,
+		Peers:             peers,
 	})
 }
 

@@ -137,6 +137,57 @@ func MustGenerate(spec Spec) *design.Design {
 	return d
 }
 
+// GenerateMultiRegion tiles `regions` independently generated copies of
+// spec side by side, separated by `gap` empty grid columns, into one
+// design of width regions*spec.Width + (regions-1)*gap. Each tile gets
+// its own seed (spec.Seed+tile) and its net and pin names are prefixed
+// "r<tile>_", so tiles differ in content, not just position.
+//
+// The gap's purpose is routing-region separation: with gap wider than
+// twice the router's net influence margin (~150 columns at the default
+// config; 300 is a safe default), the router provably partitions the
+// tiles into disjoint regions, so an edit inside one tile lets a strict
+// incremental rerun splice every other tile's route bundle
+// byte-identically — the splice path a single connected region (like
+// benchlarge) never exercises.
+func GenerateMultiRegion(spec Spec, regions, gap int) (*design.Design, error) {
+	spec = spec.withDefaults()
+	if regions < 1 || gap < 0 {
+		return nil, fmt.Errorf("synth: invalid multi-region shape (regions=%d gap=%d)", regions, gap)
+	}
+	width := regions*spec.Width + (regions-1)*gap
+	d := design.New(spec.Name, width, spec.Height, tech.Default())
+	for tile := 0; tile < regions; tile++ {
+		tileSpec := spec
+		tileSpec.Seed = spec.Seed + int64(tile)
+		src, err := Generate(tileSpec)
+		if err != nil {
+			return nil, fmt.Errorf("synth: tile %d: %w", tile, err)
+		}
+		off := tile * (spec.Width + gap)
+		netIDs := make([]int, len(src.Nets))
+		for i, n := range src.Nets {
+			netIDs[i] = d.AddNet(fmt.Sprintf("r%d_%s", tile, n.Name))
+		}
+		for _, p := range src.Pins {
+			sh := p.Shape
+			sh.X0 += off
+			sh.X1 += off
+			d.AddPin(fmt.Sprintf("r%d_%s", tile, p.Name), netIDs[p.NetID], sh)
+		}
+		for _, bl := range src.Blockages {
+			sh := bl.Shape
+			sh.X0 += off
+			sh.X1 += off
+			d.AddBlockage(bl.Layer, sh)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: multi-region design invalid: %w", err)
+	}
+	return d, nil
+}
+
 // occupancy is a per-cell usage bitmap with a one-cell guard ring around
 // every pin so neighbouring pins never touch.
 type occupancy struct {

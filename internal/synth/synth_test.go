@@ -154,3 +154,52 @@ func TestTableCircuitsGenerate(t *testing.T) {
 		}
 	}
 }
+
+func TestGenerateMultiRegion(t *testing.T) {
+	spec := Spec{Name: "multi", Nets: 60, Width: 120, Height: 40, Seed: 5}
+	const regions, gap = 3, 300
+	d, err := GenerateMultiRegion(spec, regions, gap)
+	if err != nil {
+		t.Fatalf("GenerateMultiRegion: %v", err)
+	}
+	if want := regions*spec.Width + (regions-1)*gap; d.Width != want {
+		t.Fatalf("width = %d, want %d", d.Width, want)
+	}
+	if len(d.Nets) != regions*spec.Nets {
+		t.Fatalf("nets = %d, want %d", len(d.Nets), regions*spec.Nets)
+	}
+	// Every pin sits inside its tile's column band: the gaps are empty.
+	for _, p := range d.Pins {
+		tile := -1
+		for k := 0; k < regions; k++ {
+			lo := k * (spec.Width + gap)
+			if p.Shape.X0 >= lo && p.Shape.X1 < lo+spec.Width {
+				tile = k
+				break
+			}
+		}
+		if tile == -1 {
+			t.Fatalf("pin %s at %v lands in a gap", p.Name, p.Shape)
+		}
+		if want := "r" + string(rune('0'+tile)) + "_"; len(p.Name) < 3 || p.Name[:3] != want {
+			t.Fatalf("pin %s in tile %d not prefixed %q", p.Name, tile, want)
+		}
+	}
+	d2, err := GenerateMultiRegion(spec, regions, gap)
+	if err != nil {
+		t.Fatalf("regenerate: %v", err)
+	}
+	if len(d2.Pins) != len(d.Pins) {
+		t.Fatalf("generation not deterministic: %d vs %d pins", len(d2.Pins), len(d.Pins))
+	}
+}
+
+func TestGenerateMultiRegionRejectsBadShape(t *testing.T) {
+	spec := Spec{Name: "m", Nets: 10, Width: 60, Height: 20, Seed: 1}
+	if _, err := GenerateMultiRegion(spec, 0, 10); err == nil {
+		t.Error("want error for zero regions")
+	}
+	if _, err := GenerateMultiRegion(spec, 2, -1); err == nil {
+		t.Error("want error for negative gap")
+	}
+}

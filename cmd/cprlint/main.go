@@ -1,22 +1,31 @@
 // Command cprlint is the repo's determinism & robustness linter: a
 // multichecker driving the internal/analysis suite (maporder,
-// nondeterm, floatreduce, ctxpass, mutexcopy, errdrop) over package
-// patterns, with //cprlint:<analyzer> <reason> suppression comments
-// enforced to carry reasons.
+// nondeterm, floatreduce, ctxpass, mutexcopy, errdrop, plus the
+// interprocedural lockheld, keypurity, goroleak, and deferclose) over
+// package patterns, with //cprlint:<analyzer> <reason> suppression
+// comments enforced to carry reasons.
+//
+// The v2 analyzers are summary-based: the engine walks the
+// `go list -deps` graph, summarizes in-module dependency packages
+// bottom-up (funcsum facts: blocking, clock reads, option-field reads,
+// ...), and checks targets with every dependency's summary in scope. A
+// facts cache (-facts-dir) persists those summaries keyed by content
+// hash, so narrow re-lints skip re-summarizing unchanged dependencies.
 //
 // Usage:
 //
 //	cprlint [flags] [packages]
 //
-//	-json             emit findings as a JSON array (empty array when clean)
+//	-json             emit {"findings": [...], "timings": [...]} JSON
 //	-list             print the analyzers and exit
 //	-enable  a,b,...  run only the named analyzers
 //	-disable a,b,...  skip the named analyzers
+//	-facts-dir DIR    persist/reuse per-package fact summaries in DIR
 //
 // Exit status: 0 when clean, 1 on findings, 2 on usage or load errors.
 // The CI lint job runs `cprlint ./...` and additionally asserts that
-// `cprlint -json ./...` prints an empty array, so any new finding —
-// including an unjustified suppression — fails the build.
+// `cprlint -json ./...` reports an empty findings list, so any new
+// finding — including an unjustified suppression — fails the build.
 package main
 
 import (
@@ -24,12 +33,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"cpr/internal/analysis"
 	"cpr/internal/analysis/all"
-	"cpr/internal/analysis/loader"
+	"cpr/internal/analysis/engine"
 )
 
 // finding is one reported diagnostic, JSON-ready.
@@ -41,11 +49,18 @@ type finding struct {
 	Message  string `json:"message"`
 }
 
+// jsonReport is the -json output shape.
+type jsonReport struct {
+	Findings []finding       `json:"findings"`
+	Timings  []engine.Timing `json:"timings"`
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	jsonOut := flag.Bool("json", false, "emit findings and per-analyzer timings as JSON")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated analyzers to skip")
+	factsDir := flag.String("facts-dir", "", "directory for the persistent fact-summary cache")
 	flag.Parse()
 
 	if *list {
@@ -70,7 +85,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cprlint:", err)
 		os.Exit(2)
 	}
-	findings, err := Lint(wd, patterns, analyzers)
+	findings, timings, err := Lint(wd, patterns, analyzers, *factsDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cprlint:", err)
 		os.Exit(2)
@@ -79,10 +94,14 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []finding{}
+		report := jsonReport{Findings: findings, Timings: timings}
+		if report.Findings == nil {
+			report.Findings = []finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
+		if report.Timings == nil {
+			report.Timings = []engine.Timing{}
+		}
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintln(os.Stderr, "cprlint:", err)
 			os.Exit(2)
 		}
@@ -146,74 +165,37 @@ func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
 	return out, nil
 }
 
-// Lint loads the patterns from moduleDir and runs the analyzers,
-// returning findings sorted by position. Suppression comments are
-// applied (and validated: a //cprlint: comment with a bad name or no
-// reason is itself a finding).
-func Lint(moduleDir string, patterns []string, analyzers []*analysis.Analyzer) ([]finding, error) {
-	l := loader.New(moduleDir)
-	pkgs, err := l.Load(patterns...)
-	if err != nil {
-		return nil, err
-	}
-	known := all.Known()
-	var findings []finding
-	add := func(name string, diags []analysis.Diagnostic) {
-		for _, d := range diags {
-			pos := l.Fset.Position(d.Pos)
-			file := pos.Filename
-			if rel, err := relPath(moduleDir, file); err == nil {
-				file = rel
-			}
-			findings = append(findings, finding{
-				Analyzer: name,
-				File:     file,
-				Line:     pos.Line,
-				Col:      pos.Column,
-				Message:  d.Message,
-			})
-		}
-	}
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			var diags []analysis.Diagnostic
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      l.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
-			}
-			add(a.Name, analysis.Filter(l.Fset, pkg.Files, a, diags))
-		}
-		add("cprlint", analysis.CheckSuppressions(l.Fset, pkg.Files, known))
-	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
-		return a.Analyzer < b.Analyzer
+// Lint runs the engine on the patterns from moduleDir and returns
+// module-relative findings sorted by position, plus per-analyzer
+// timings. Suppression comments are applied (and validated: a
+// //cprlint: comment with a bad name or no reason is itself a finding,
+// under the "cprlint" analyzer name).
+func Lint(moduleDir string, patterns []string, analyzers []*analysis.Analyzer, factsDir string) ([]finding, []engine.Timing, error) {
+	e := engine.New(engine.Options{
+		ModuleDir: moduleDir,
+		FactsDir:  factsDir,
+		Analyzers: analyzers,
+		Known:     all.Known(),
 	})
-	return findings, nil
-}
-
-func relPath(base, target string) (string, error) {
-	rel, err := relIfUnder(base, target)
+	raw, timings, err := e.Run(patterns...)
 	if err != nil {
-		return "", err
+		return nil, nil, err
 	}
-	return rel, nil
+	var findings []finding
+	for _, f := range raw {
+		file := f.Pos.Filename
+		if rel, err := relIfUnder(moduleDir, file); err == nil {
+			file = rel
+		}
+		findings = append(findings, finding{
+			Analyzer: f.Analyzer,
+			File:     file,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	return findings, timings, nil
 }
 
 // relIfUnder returns target relative to base when target lies under it.

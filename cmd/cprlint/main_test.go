@@ -48,7 +48,7 @@ func Sum(m map[string]float64) float64 {
 }
 `,
 	})
-	findings, err := Lint(dir, []string{"./..."}, all.Analyzers())
+	findings, _, err := Lint(dir, []string{"./..."}, all.Analyzers(), "")
 	if err != nil {
 		t.Fatalf("Lint: %v", err)
 	}
@@ -95,7 +95,7 @@ func SumB(m map[string]float64) float64 {
 }
 `,
 	})
-	findings, err := Lint(dir, []string{"./..."}, all.Analyzers())
+	findings, _, err := Lint(dir, []string{"./..."}, all.Analyzers(), "")
 	if err != nil {
 		t.Fatalf("Lint: %v", err)
 	}
@@ -124,7 +124,7 @@ func TestLintCleanModule(t *testing.T) {
 func Add(a, b int) int { return a + b }
 `,
 	})
-	findings, err := Lint(dir, []string{"./..."}, all.Analyzers())
+	findings, _, err := Lint(dir, []string{"./..."}, all.Analyzers(), "")
 	if err != nil {
 		t.Fatalf("Lint: %v", err)
 	}

@@ -6,19 +6,29 @@ package all
 import (
 	"cpr/internal/analysis"
 	"cpr/internal/analysis/ctxpass"
+	"cpr/internal/analysis/deferclose"
 	"cpr/internal/analysis/errdrop"
 	"cpr/internal/analysis/floatreduce"
+	"cpr/internal/analysis/goroleak"
+	"cpr/internal/analysis/keypurity"
+	"cpr/internal/analysis/lockheld"
 	"cpr/internal/analysis/maporder"
 	"cpr/internal/analysis/mutexcopy"
 	"cpr/internal/analysis/nondeterm"
 )
 
 // Analyzers returns the full suite in stable (alphabetical) order.
+// funcsum is deliberately absent: it produces facts, not diagnostics,
+// and the engine schedules it implicitly through Requires.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxpass.Analyzer,
+		deferclose.Analyzer,
 		errdrop.Analyzer,
 		floatreduce.Analyzer,
+		goroleak.Analyzer,
+		keypurity.Analyzer,
+		lockheld.Analyzer,
 		maporder.Analyzer,
 		mutexcopy.Analyzer,
 		nondeterm.Analyzer,

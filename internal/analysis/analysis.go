@@ -26,6 +26,17 @@ type Analyzer struct {
 	// SuppressAliases are extra names accepted in suppression comments
 	// (e.g. maporder accepts the documented //cprlint:ordered form).
 	SuppressAliases []string
+	// Requires lists analyzers whose facts this one imports. The engine
+	// runs the transitive closure of Requires over every package —
+	// dependencies first — before this analyzer sees a target package,
+	// so required facts are always complete when Run executes.
+	Requires []*Analyzer
+	// FactTypes declares the fact types this analyzer exports, as nil
+	// pointer prototypes (e.g. (*Summary)(nil)). An analyzer with a
+	// non-empty FactTypes is a fact producer: the engine runs it over
+	// dependency packages, not just analysis targets, and persists its
+	// output in the facts cache.
+	FactTypes []Fact
 	// Run executes the check on one package.
 	Run func(*Pass) error
 }
@@ -44,8 +55,118 @@ type Pass struct {
 	// TypesInfo holds the type-checker's results for Files.
 	TypesInfo *types.Info
 
+	// Facts is the run-wide fact store. Drivers that execute analyzers
+	// with Requires/FactTypes install it; it may be nil under the legacy
+	// single-package drivers, in which case the fact methods are no-ops.
+	Facts *FactStore
+
 	// Report delivers one finding. Drivers install it.
 	Report func(Diagnostic)
+}
+
+// ExportObjectFact records fact f for obj under this pass's analyzer.
+// obj must belong to the package being analyzed (facts flow from
+// dependencies to dependents, never sideways).
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.Facts == nil {
+		return
+	}
+	if obj != nil && obj.Pkg() != nil && obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("analysis: %s exported a fact for %s, which is outside package %s",
+			p.Analyzer.Name, obj.Name(), p.Pkg.Path()))
+	}
+	p.Facts.Export(p.Analyzer.Name, obj, f)
+}
+
+// ExportPackageFact records a package-level fact for the package being
+// analyzed.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if p.Facts == nil {
+		return
+	}
+	p.Facts.ExportPackage(p.Analyzer.Name, p.Pkg.Path(), f)
+}
+
+// ImportObjectFact copies the fact exported for obj by `from` — which
+// must be this analyzer or one of its Requires — into ptr and reports
+// whether one was found. Restricting imports to declared requirements is
+// what keeps analyzers isolated: facts of an analyzer you did not
+// declare are invisible even when another run left them in the store.
+func (p *Pass) ImportObjectFact(from *Analyzer, obj types.Object, ptr Fact) bool {
+	if p.Facts == nil || !p.mayImport(from) {
+		return false
+	}
+	return p.Facts.Import(from.Name, obj, ptr)
+}
+
+// ImportObjectFactByName is ImportObjectFact addressed by package path
+// and ObjectKey, for objects whose defining package was summarized from
+// the facts cache and has no live types.Object in this process.
+func (p *Pass) ImportObjectFactByName(from *Analyzer, pkgPath, objKey string, ptr Fact) bool {
+	if p.Facts == nil || !p.mayImport(from) {
+		return false
+	}
+	return p.Facts.ImportByName(from.Name, pkgPath, objKey, ptr)
+}
+
+// ImportPackageFact copies the package-level fact exported for pkgPath
+// by `from` into ptr.
+func (p *Pass) ImportPackageFact(from *Analyzer, pkgPath string, ptr Fact) bool {
+	if p.Facts == nil || !p.mayImport(from) {
+		return false
+	}
+	return p.Facts.ImportPackage(from.Name, pkgPath, ptr)
+}
+
+// mayImport reports whether from's facts are visible to this pass.
+func (p *Pass) mayImport(from *Analyzer) bool {
+	if from == nil {
+		return false
+	}
+	if from == p.Analyzer {
+		return true
+	}
+	for _, r := range p.Analyzer.Requires {
+		if r == from {
+			return true
+		}
+	}
+	return false
+}
+
+// Closure returns the given analyzers plus the transitive closure of
+// their Requires, ordered so every analyzer appears after everything it
+// requires — the order the engine runs them in on each package.
+func Closure(as []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	seen := make(map[*Analyzer]bool)
+	var visit func(a *Analyzer)
+	visit = func(a *Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, r := range a.Requires {
+			visit(r)
+		}
+		out = append(out, a)
+	}
+	for _, a := range as {
+		visit(a)
+	}
+	return out
+}
+
+// Producers filters as down to fact-producing analyzers (FactTypes
+// non-empty) — the subset the engine runs over dependency packages.
+func Producers(as []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	for _, a := range as {
+		if len(a.FactTypes) > 0 {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -26,6 +26,7 @@ import (
 	"testing"
 
 	"cpr/internal/analysis"
+	"cpr/internal/analysis/engine"
 	"cpr/internal/analysis/loader"
 )
 
@@ -55,6 +56,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 	}
 	l := loader.New(moduleDir)
 	l.TestdataSrc = src
+	store := analysis.NewFactStore()
 
 	for _, pkgPath := range pkgPaths {
 		dir := filepath.Join(src, filepath.FromSlash(pkgPath))
@@ -68,20 +70,16 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 			continue
 		}
 
-		var diags []analysis.Diagnostic
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      l.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
-			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-		}
-		if err := a.Run(pass); err != nil {
+		// RunOverlay summarizes the golden package's source-loaded
+		// imports first (fact producers from the analyzer's Requires
+		// closure), so interprocedural golden tests see cross-package
+		// facts exactly as a real engine run would.
+		byName, err := engine.RunOverlay(l, store, pkg, []*analysis.Analyzer{a})
+		if err != nil {
 			t.Errorf("%s: analyzer %s: %v", pkgPath, a.Name, err)
 			continue
 		}
-		diags = analysis.Filter(l.Fset, pkg.Files, a, diags)
+		diags := analysis.Filter(l.Fset, pkg.Files, a, byName[a.Name])
 
 		expects, err := collectExpectations(dir)
 		if err != nil {

@@ -1,0 +1,230 @@
+// Package deferclose flags acquired resources — files, listeners,
+// connections, HTTP response bodies — that a function neither releases
+// nor hands off. A resource counts as released when any path calls
+// Close through it (directly, deferred, or inside a closure:
+// `v.Close()`, `defer v.Body.Close()`); it counts as handed off when
+// the variable itself escapes the function (returned, passed as an
+// argument, stored, sent, or aliased) — ownership moved, the check
+// follows it no further. Acquisition is interprocedural: a module
+// function whose funcsum summary says it acquires-and-returns a
+// resource obligates its callers exactly like os.Open does.
+package deferclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cpr/internal/analysis"
+	"cpr/internal/analysis/funcsum"
+)
+
+// Analyzer reports acquired-but-never-released resources.
+var Analyzer = &analysis.Analyzer{
+	Name:     "deferclose",
+	Doc:      "reports resources (files, listeners, connections, response bodies) acquired by a function but neither closed on any path nor handed off to a caller, including resources acquired through module functions that return them",
+	Requires: []*analysis.Analyzer{funcsum.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// tracked is one acquired resource bound to a local variable.
+type tracked struct {
+	v        *types.Var
+	kind     string
+	from     string // callee display name
+	pos      token.Pos
+	released bool
+	escaped  bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var resources []*tracked
+	byVar := make(map[*types.Var]*tracked)
+
+	// Pass 1: find acquisitions. Goroutine bodies and non-immediate
+	// literals are separate execution contexts; skip them (their
+	// acquisitions would need their own function to be summarized).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+				if kind, from, ok := acquisition(pass, call); ok {
+					pass.Reportf(call.Pos(),
+						"%s acquired from %s is discarded without being closed; bind and release it or annotate with //cprlint:deferclose <reason>",
+						kind, from)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(x.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, from, ok := acquisition(pass, call)
+			if !ok {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var v *types.Var
+				if d, ok := info.Defs[id].(*types.Var); ok {
+					v = d
+				} else if u, ok := info.Uses[id].(*types.Var); ok {
+					v = u
+				}
+				if v == nil || !funcsum.IsResource(v.Type()) {
+					continue
+				}
+				t := &tracked{v: v, kind: kind, from: from, pos: id.Pos()}
+				resources = append(resources, t)
+				byVar[v] = t
+			}
+		}
+		return true
+	})
+	if len(resources) == 0 {
+		return
+	}
+
+	// Pass 2: releases and escapes, everywhere in the function
+	// including closures (a deferred closure closing the resource
+	// counts as a release; the variable escaping as a bare value
+	// transfers ownership).
+	baseOf := make(map[*ast.Ident]bool) // idents that are selector chain roots
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if root := rootIdent(x.X); root != nil {
+				baseOf[root] = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				if root := rootIdent(sel.X); root != nil {
+					if v, ok := info.Uses[root].(*types.Var); ok {
+						if t, ok := byVar[v]; ok {
+							t.released = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		t, ok := byVar[v]
+		if !ok || baseOf[id] {
+			return true
+		}
+		// A bare use of the variable outside a selector base: returned,
+		// passed, stored, compared against nil... Comparisons with nil
+		// are the error-check idiom, not an escape.
+		if !isNilCheckUse(id, fd.Body) {
+			t.escaped = true
+		}
+		return true
+	})
+
+	for _, t := range resources {
+		if t.released || t.escaped {
+			continue
+		}
+		what := "closed"
+		if t.kind == "response body" {
+			what = "closed (resp.Body.Close())"
+		}
+		pass.Reportf(t.pos,
+			"%s %q acquired from %s is never %s in this function and never escapes; release it with defer or annotate with //cprlint:deferclose <reason>",
+			t.kind, t.v.Name(), t.from, what)
+	}
+}
+
+// acquisition classifies a call as resource-acquiring, via the
+// standard-library table or a module callee's Acquires summary.
+func acquisition(pass *analysis.Pass, call *ast.CallExpr) (kind, from string, ok bool) {
+	fn := analysis.FuncOf(pass.TypesInfo, call)
+	if fn == nil {
+		return "", "", false
+	}
+	if kind, ok := funcsum.AcquirerOf(fn); ok {
+		return kind, fn.Origin().FullName(), true
+	}
+	if sum, ok := funcsum.LookupSummary(pass, fn); ok && sum.Acquires != "" {
+		return sum.Acquires, fn.Origin().FullName(), true
+	}
+	return "", "", false
+}
+
+// rootIdent unwraps a selector/index/deref chain to its base identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isNilCheckUse reports whether an identifier use is one side of a
+// comparison with nil — the `if resp != nil` error-handling idiom,
+// which must not count as an ownership transfer.
+func isNilCheckUse(id *ast.Ident, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+		if (x == id && isNil(y)) || (y == id && isNil(x)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,12 @@
+package deferclose_test
+
+import (
+	"testing"
+
+	"cpr/internal/analysis/analysistest"
+	"cpr/internal/analysis/deferclose"
+)
+
+func TestDeferclose(t *testing.T) {
+	analysistest.Run(t, "testdata", deferclose.Analyzer, "deferclose")
+}

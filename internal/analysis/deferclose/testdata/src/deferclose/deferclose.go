@@ -1,0 +1,115 @@
+// Package deferclose exercises resource-release tracking: acquired
+// resources with no Close on any path and no escape are flagged;
+// deferred closes, closure closes, hand-offs, and nil checks are not.
+package deferclose
+
+import (
+	"net"
+	"net/http"
+	"os"
+)
+
+func leaks() error {
+	f, err := os.Open("config.json") // want `file "f" acquired from os\.Open is never closed`
+	if err != nil {
+		return err
+	}
+	println(f.Name())
+	return nil
+}
+
+func closes() error {
+	f, err := os.Open("config.json")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	println(f.Name())
+	return nil
+}
+
+func closesInClosure() error {
+	f, err := os.Open("config.json")
+	if err != nil {
+		return err
+	}
+	cleanup := func() { f.Close() }
+	defer cleanup()
+	return nil
+}
+
+// opens hands the file to its caller — funcsum summarizes it as an
+// acquirer, so callers inherit the release obligation.
+func opens() (*os.File, error) {
+	return os.Open("config.json")
+}
+
+func callerLeaks() error {
+	f, err := opens() // want `file "f" acquired from deferclose\.opens is never closed`
+	if err != nil {
+		return err
+	}
+	println(f.Name())
+	return nil
+}
+
+func callerCloses() error {
+	f, err := opens()
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+func handsOff(sink *[]*os.File) error {
+	f, err := os.Open("config.json")
+	if err != nil {
+		return err
+	}
+	*sink = append(*sink, f) // ownership transferred: clean
+	return nil
+}
+
+func fetchLeaks() error {
+	resp, err := http.Get("http://peer/block") // want `response body "resp" acquired from net/http\.Get is never closed \(resp\.Body\.Close\(\)\)`
+	if err != nil {
+		return err
+	}
+	println(resp.Status)
+	return nil
+}
+
+func fetchCloses() error {
+	resp, err := http.Get("http://peer/block")
+	if err != nil {
+		return err
+	}
+	if resp != nil { // nil comparison is the error idiom, not an escape
+		defer resp.Body.Close()
+	}
+	return nil
+}
+
+func listens() error {
+	ln, err := net.Listen("tcp", ":0") // want `listener "ln" acquired from net\.Listen is never closed`
+	if err != nil {
+		return err
+	}
+	println(ln.Addr().String())
+	return nil
+}
+
+func discards() {
+	os.Create("out.tmp") // want `file acquired from os\.Create is discarded without being closed`
+}
+
+func suppressedLeak() error {
+	//cprlint:deferclose process-lifetime pid file, released by the OS at exit
+	f, err := os.Create("daemon.pid")
+	if err != nil {
+		return err
+	}
+	println(f.Name())
+	return nil
+}

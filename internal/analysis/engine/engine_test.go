@@ -1,0 +1,243 @@
+package engine_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cpr/internal/analysis"
+	"cpr/internal/analysis/engine"
+	"cpr/internal/analysis/lockheld"
+)
+
+// writeModule lays out a throwaway Go module for the engine to analyze.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// crossPackageModule is a two-package module where the only lockheld
+// finding depends on the dependency package's funcsum summary: svc holds
+// a mutex across a call into util, and only util's fact says it blocks.
+func crossPackageModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"util/util.go": `package util
+
+import "time"
+
+// Slow blocks for a moment.
+func Slow() { time.Sleep(time.Millisecond) }
+`,
+		"svc/svc.go": `package svc
+
+import (
+	"sync"
+
+	"tmpmod/util"
+)
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Do() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	util.Slow()
+	return s.n
+}
+`,
+	})
+}
+
+// runFresh analyzes ./svc with a brand-new engine (no shared loader or
+// in-memory fact store), so anything remembered between calls must have
+// come through factsDir.
+func runFresh(t *testing.T, dir, factsDir string) []engine.Finding {
+	t.Helper()
+	e := engine.New(engine.Options{
+		ModuleDir: dir,
+		FactsDir:  factsDir,
+		Analyzers: []*analysis.Analyzer{lockheld.Analyzer},
+	})
+	findings, _, err := e.Run("./svc")
+	if err != nil {
+		t.Fatalf("engine.Run: %v", err)
+	}
+	return findings
+}
+
+// utilCacheFile locates the facts-cache entry persisted for tmpmod/util.
+func utilCacheFile(t *testing.T, factsDir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(factsDir)
+	if err != nil {
+		t.Fatalf("reading facts dir: %v", err)
+	}
+	for _, ent := range entries {
+		path := filepath.Join(factsDir, ent.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cached struct {
+			Pkg string `json:"pkg"`
+		}
+		if json.Unmarshal(data, &cached) == nil && cached.Pkg == "tmpmod/util" {
+			return path
+		}
+	}
+	t.Fatal("no facts-cache entry for tmpmod/util")
+	return ""
+}
+
+// TestFactsDirRoundTrip proves dependency summaries really are reloaded
+// from the facts cache: after a first run persists util's facts, the
+// cache entry is doctored to drop the blocking summary, and a fresh
+// engine — which would rediscover the blocking call if it re-analyzed
+// util from source — believes the doctored fact and reports nothing.
+func TestFactsDirRoundTrip(t *testing.T) {
+	dir := crossPackageModule(t)
+	factsDir := t.TempDir()
+
+	if got := runFresh(t, dir, factsDir); len(got) != 1 ||
+		!strings.Contains(got[0].Message, "tmpmod/util.Slow") {
+		t.Fatalf("first run: got %+v, want one lockheld finding via tmpmod/util.Slow", got)
+	}
+
+	path := utilCacheFile(t, factsDir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.ReplaceAll(string(data), `\"blocking\"`, `\"_gone_\"`)
+	if doctored == string(data) {
+		doctored = strings.ReplaceAll(string(data), `"blocking"`, `"_gone_"`)
+	}
+	if doctored == string(data) {
+		t.Fatalf("cache entry for util carries no blocking summary:\n%s", data)
+	}
+	if err := os.WriteFile(path, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := runFresh(t, dir, factsDir); len(got) != 0 {
+		t.Fatalf("second run re-analyzed util from source instead of trusting the cache: %+v", got)
+	}
+}
+
+// TestStaleFactsInvalidated proves the content hash guards the cache:
+// editing the dependency re-summarizes it from source even though a
+// (now stale) cache entry exists.
+func TestStaleFactsInvalidated(t *testing.T) {
+	dir := crossPackageModule(t)
+	factsDir := t.TempDir()
+
+	if got := runFresh(t, dir, factsDir); len(got) != 1 {
+		t.Fatalf("first run: got %+v, want one finding", got)
+	}
+
+	// Rewrite util so Slow no longer blocks. A run that reused the old
+	// cached summary would still report the finding.
+	utilPath := filepath.Join(dir, "util", "util.go")
+	if err := os.WriteFile(utilPath, []byte(`package util
+
+// Slow no longer blocks.
+func Slow() {}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := runFresh(t, dir, factsDir); len(got) != 0 {
+		t.Fatalf("stale cached summary survived a source change: %+v", got)
+	}
+
+	// And flipping it back restores the finding: the cache now holds the
+	// edited version's summary, which the restored content must not reuse.
+	if err := os.WriteFile(utilPath, []byte(`package util
+
+import "time"
+
+// Slow blocks for a moment.
+func Slow() { time.Sleep(time.Millisecond) }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := runFresh(t, dir, factsDir); len(got) != 1 {
+		t.Fatalf("third run: got %+v, want the finding back", got)
+	}
+}
+
+// noteFact is a throwaway package fact for the isolation test.
+type noteFact struct {
+	Msg string `json:"msg"`
+}
+
+func (*noteFact) AFact() {}
+
+// TestAnalyzerIsolation proves a pass can import facts only from itself
+// or analyzers it declares in Requires: two otherwise identical
+// consumers differ only in Requires, and only the declaring one sees
+// the producer's fact.
+func TestAnalyzerIsolation(t *testing.T) {
+	producer := &analysis.Analyzer{
+		Name:      "producer",
+		Doc:       "exports one package fact",
+		FactTypes: []analysis.Fact{(*noteFact)(nil)},
+	}
+	producer.Run = func(pass *analysis.Pass) error {
+		pass.ExportPackageFact(&noteFact{Msg: "hello"})
+		return nil
+	}
+	consumer := func(name string, requires []*analysis.Analyzer) *analysis.Analyzer {
+		a := &analysis.Analyzer{Name: name, Doc: "imports the note", Requires: requires}
+		a.Run = func(pass *analysis.Pass) error {
+			var f noteFact
+			if pass.ImportPackageFact(producer, pass.Pkg.Path(), &f) {
+				pass.Reportf(pass.Files[0].Pos(), "%s saw %q", name, f.Msg)
+			} else {
+				pass.Reportf(pass.Files[0].Pos(), "%s saw nothing", name)
+			}
+			return nil
+		}
+		return a
+	}
+	declaring := consumer("declaring", []*analysis.Analyzer{producer})
+	isolated := consumer("isolated", nil)
+
+	dir := writeModule(t, map[string]string{
+		"p/p.go": "package p\n\nfunc F() {}\n",
+	})
+	e := engine.New(engine.Options{
+		ModuleDir: dir,
+		Analyzers: []*analysis.Analyzer{declaring, isolated},
+	})
+	findings, _, err := e.Run("./p")
+	if err != nil {
+		t.Fatalf("engine.Run: %v", err)
+	}
+	got := make(map[string]string)
+	for _, f := range findings {
+		got[f.Analyzer] = f.Message
+	}
+	if got["declaring"] != `declaring saw "hello"` {
+		t.Errorf("declaring consumer: %q, want the producer's fact", got["declaring"])
+	}
+	if got["isolated"] != "isolated saw nothing" {
+		t.Errorf("isolated consumer: %q, want the fact to be invisible without Requires", got["isolated"])
+	}
+}

@@ -1,0 +1,75 @@
+// Package goroleak flags goroutine launches with no stop path: the
+// launched body (or, interprocedurally, the launched function per its
+// funcsum summary) runs an unconditional loop containing no return,
+// break, channel receive, select, or range-over-channel — so no
+// cancellation signal, drain, or queue close can ever reach it, and it
+// leaks for the life of the process. One-shot goroutines and worker
+// loops that drain a channel are fine by construction.
+package goroleak
+
+import (
+	"go/ast"
+
+	"cpr/internal/analysis"
+	"cpr/internal/analysis/funcsum"
+)
+
+// Analyzer reports unstoppable goroutine launches.
+var Analyzer = &analysis.Analyzer{
+	Name:     "goroleak",
+	Doc:      "reports goroutine launches whose body runs an unconditional loop with no cancellation, stop, or drain path (no return, break, channel receive, or select), including loops reached through called functions",
+	Requires: []*analysis.Analyzer{funcsum.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			check(pass, g)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, g *ast.GoStmt) {
+	if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if _, bad := funcsum.UnstoppableLoopIn(pass.TypesInfo, fl.Body); bad {
+			pass.Reportf(g.Go,
+				"goroutine body runs an unconditional loop with no stop path (no return, break, channel receive, or select); add a cancellation or drain signal, or annotate with //cprlint:goroleak <reason>")
+			return
+		}
+		// The literal may reach an unstoppable loop through a call.
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				reportUnstoppableCallee(pass, g, x)
+			}
+			return true
+		})
+		return
+	}
+	reportUnstoppableCallee(pass, g, g.Call)
+}
+
+// reportUnstoppableCallee flags a goroutine whose (possibly indirect)
+// target function has an Unstoppable summary.
+func reportUnstoppableCallee(pass *analysis.Pass, g *ast.GoStmt, call *ast.CallExpr) {
+	fn := analysis.FuncOf(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sum, ok := funcsum.LookupSummary(pass, fn)
+	if !ok || sum.Unstoppable == nil {
+		return
+	}
+	pass.Reportf(g.Go,
+		"goroutine runs %s with no stop path: %s; add a cancellation or drain signal, or annotate with //cprlint:goroleak <reason>",
+		fn.Name(), sum.Unstoppable.String())
+}

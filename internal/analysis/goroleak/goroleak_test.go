@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"cpr/internal/analysis/analysistest"
+	"cpr/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroleak.Analyzer, "goroleak")
+}

@@ -1,0 +1,66 @@
+// Package goroleak exercises unstoppable-goroutine detection: loops
+// nothing can stop are flagged at the launch site, channel-draining
+// workers and cancellable loops are not.
+package goroleak
+
+import "goroleakutil"
+
+func tick() {}
+
+func spin() {
+	for {
+		tick()
+	}
+}
+
+func launchLit() {
+	go func() { // want `goroutine body runs an unconditional loop with no stop path`
+		for {
+			tick()
+		}
+	}()
+}
+
+func launchNamed() {
+	go spin() // want `goroutine runs spin with no stop path: unconditional for-loop`
+}
+
+func launchViaLit() {
+	go func() { // want `goroutine runs spin with no stop path`
+		spin()
+	}()
+}
+
+func launchImported() {
+	go goroleakutil.Pump() // want `goroutine runs Pump with no stop path`
+}
+
+func drains(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func cancellable(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}
+
+func oneShot() {
+	go tick()
+}
+
+func suppressed() {
+	//cprlint:goroleak process-lifetime heartbeat, reaped by the OS at exit
+	go spin()
+}

@@ -1,0 +1,12 @@
+// Package goroleakutil provides an unstoppable loop behind a package
+// boundary, so the golden test covers the fact-import path.
+package goroleakutil
+
+func step() {}
+
+// Pump runs forever with no stop path.
+func Pump() {
+	for {
+		step()
+	}
+}

@@ -1,0 +1,309 @@
+// Package keypurity machine-checks the cache-key contract the
+// content-addressed pipeline depends on (DESIGN.md §4h): every
+// options-struct field a stage computation reads must either be covered
+// by the fingerprint encoder that keys the stage's cache entries, or be
+// explicitly exempted with a documented reason; and stage computations
+// must not read the wall clock, the environment, random sources, or
+// mutated package state at all.
+//
+// The contract is declared in source with marker comments:
+//
+//	//keypurity:entry <scope>     a function whose result is cached
+//	                              under a fingerprint of that scope
+//	//keypurity:encoder <scope>   the function computing that scope's
+//	                              fingerprint
+//
+// plus funcsum's //keypurity:options and //keypurity:exempt markers on
+// the option structs themselves. Scopes tie entries to encoders across
+// packages ("stage" for the §4d/§4f panel and route keys, "design" for
+// the §4c design key). Entries may live at or below the encoder's
+// package in the import graph; the check runs where the encoder is
+// declared — by then every entry's funcsum summary is an importable
+// fact — and coverage violations are reported at the encoder, the
+// function that must change. The check fails closed: a new Options
+// field read by stage code is a finding until it is either fingerprinted
+// or exempted with a reason.
+package keypurity
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cpr/internal/analysis"
+	"cpr/internal/analysis/funcsum"
+)
+
+// Analyzer enforces fingerprint completeness and stage purity.
+var Analyzer = &analysis.Analyzer{
+	Name:      "keypurity",
+	Doc:       "verifies cache-key completeness: functions marked //keypurity:entry must read only options fields covered by their scope's //keypurity:encoder fingerprint (or fields exempted with //keypurity:exempt), and must not read clocks, env, random sources, or mutable package state",
+	Requires:  []*analysis.Analyzer{funcsum.Analyzer},
+	FactTypes: []analysis.Fact{(*Encoders)(nil), (*Entries)(nil)},
+}
+
+func init() { Analyzer.Run = run }
+
+// Encoders is the package fact recording which option-field keys this
+// package's fingerprint encoders cover, per scope.
+type Encoders struct {
+	Scopes map[string][]string `json:"scopes,omitempty"` // scope -> sorted field keys
+}
+
+// AFact marks Encoders as a fact.
+func (*Encoders) AFact() {}
+
+// Entries is the package fact listing this package's marked entry
+// functions, so encoder packages higher in the import graph can check
+// them.
+type Entries struct {
+	Funcs []EntryRef `json:"funcs,omitempty"`
+}
+
+// AFact marks Entries as a fact.
+func (*Entries) AFact() {}
+
+// EntryRef locates one entry function by fact address.
+type EntryRef struct {
+	Pkg   string `json:"pkg"`   // defining package path
+	Obj   string `json:"obj"`   // analysis.ObjectKey
+	Scope string `json:"scope"` // fingerprint scope it is cached under
+	Name  string `json:"name"`  // display name (types.Func.FullName)
+}
+
+// marked is one locally marked function.
+type marked struct {
+	decl  *ast.FuncDecl
+	fn    *types.Func
+	scope string
+}
+
+func run(pass *analysis.Pass) error {
+	entries, encoders := collectMarked(pass)
+
+	// Publish this package's entries for encoder packages upstream.
+	if len(entries) > 0 {
+		fact := &Entries{}
+		for _, e := range entries {
+			fact.Funcs = append(fact.Funcs, EntryRef{
+				Pkg:   pass.Pkg.Path(),
+				Obj:   analysis.ObjectKey(e.fn),
+				Scope: e.scope,
+				Name:  e.fn.FullName(),
+			})
+		}
+		pass.ExportPackageFact(fact)
+	}
+
+	// Compute and publish local encoder coverage per scope.
+	coverage := make(map[string]map[string]bool)
+	encoderAt := make(map[string]*marked) // scope -> reporting site (first encoder)
+	for i := range encoders {
+		enc := &encoders[i]
+		cov, ok := coverage[enc.scope]
+		if !ok {
+			cov = make(map[string]bool)
+			coverage[enc.scope] = cov
+			encoderAt[enc.scope] = enc
+		}
+		if sum, ok := funcsum.LookupSummary(pass, enc.fn); ok {
+			for key := range sum.OptionReads {
+				cov[key] = true
+			}
+		}
+	}
+	if len(coverage) > 0 {
+		fact := &Encoders{Scopes: make(map[string][]string)}
+		for scope, cov := range coverage {
+			keys := make([]string, 0, len(cov))
+			for k := range cov {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fact.Scopes[scope] = keys
+		}
+		pass.ExportPackageFact(fact)
+	}
+
+	// Purity: entries declared here must not depend on process state.
+	for _, e := range entries {
+		sum, ok := funcsum.LookupSummary(pass, e.fn)
+		if !ok {
+			continue
+		}
+		for _, dep := range []struct {
+			what  string
+			chain *funcsum.Chain
+		}{
+			{"the wall clock", sum.Clock},
+			{"the process environment", sum.Env},
+			{"a random source", sum.Rand},
+			{"mutable package state", sum.MutableGlobal},
+		} {
+			if dep.chain != nil {
+				pass.Reportf(e.decl.Name.Pos(),
+					"cache entry %s reads %s: %s; cached results must be a pure function of the fingerprinted inputs",
+					e.fn.Name(), dep.what, dep.chain.String())
+			}
+		}
+	}
+
+	// Coverage: for each scope encoded here, audit every entry of that
+	// scope declared in this package or anywhere below it.
+	if len(coverage) == 0 {
+		return nil
+	}
+	imports := transitiveImports(pass.Pkg)
+	for _, scope := range sortedScopes(coverage) {
+		cov := coverage[scope]
+		// Encoders for the same scope may be split across packages.
+		for _, imp := range imports {
+			var enc Encoders
+			if pass.ImportPackageFact(Analyzer, imp, &enc) {
+				for _, k := range enc.Scopes[scope] {
+					cov[k] = true
+				}
+			}
+		}
+		var refs []EntryRef
+		for _, e := range entries {
+			if e.scope == scope {
+				refs = append(refs, EntryRef{Pkg: pass.Pkg.Path(), Obj: analysis.ObjectKey(e.fn), Scope: scope, Name: e.fn.FullName()})
+			}
+		}
+		for _, imp := range imports {
+			var ent Entries
+			if !pass.ImportPackageFact(Analyzer, imp, &ent) {
+				continue
+			}
+			for _, ref := range ent.Funcs {
+				if ref.Scope == scope {
+					refs = append(refs, ref)
+				}
+			}
+		}
+		sort.Slice(refs, func(i, j int) bool { return refs[i].Name < refs[j].Name })
+
+		site := encoderAt[scope]
+		for _, ref := range refs {
+			var sum funcsum.Summary
+			if !pass.ImportObjectFactByName(funcsum.Analyzer, ref.Pkg, ref.Obj, &sum) {
+				continue
+			}
+			for _, key := range sortedReadKeys(sum.OptionReads) {
+				if cov[key] {
+					continue
+				}
+				if reason, exempt := exemption(pass, key); exempt {
+					_ = reason
+					continue
+				}
+				pass.Reportf(site.decl.Name.Pos(),
+					"fingerprint encoder %s (scope %q) does not cover %s, which %s reads (%s); fingerprint the field or mark it //keypurity:exempt <reason> (see DESIGN.md §4h)",
+					site.fn.Name(), scope, key, ref.Name, sum.OptionReads[key].String())
+			}
+		}
+	}
+	return nil
+}
+
+// collectMarked scans function doc comments for entry/encoder markers.
+func collectMarked(pass *analysis.Pass) (entries, encoders []marked) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if scope, ok := markerScope(fd.Doc, "keypurity:entry"); ok {
+				entries = append(entries, marked{decl: fd, fn: fn, scope: scope})
+			}
+			if scope, ok := markerScope(fd.Doc, "keypurity:encoder"); ok {
+				encoders = append(encoders, marked{decl: fd, fn: fn, scope: scope})
+			}
+		}
+	}
+	return entries, encoders
+}
+
+// markerScope extracts "//keypurity:<kind> <scope>" from a doc comment
+// via the raw comment list (directive comments are invisible to
+// CommentGroup.Text); the scope defaults to "stage".
+func markerScope(doc *ast.CommentGroup, marker string) (string, bool) {
+	scope, ok := funcsum.MarkerLine(doc, marker)
+	if !ok {
+		return "", false
+	}
+	if scope == "" {
+		scope = "stage"
+	}
+	return scope, true
+}
+
+// exemption resolves a field key "<pkg>.<Type>.<Field>" against the
+// owning struct's //keypurity:exempt markers (an OptionStruct fact).
+func exemption(pass *analysis.Pass, key string) (string, bool) {
+	lastDot := strings.LastIndexByte(key, '.')
+	if lastDot < 0 {
+		return "", false
+	}
+	field := key[lastDot+1:]
+	rest := key[:lastDot]
+	typeDot := strings.LastIndexByte(rest, '.')
+	if typeDot < 0 {
+		return "", false
+	}
+	pkgPath, typeName := rest[:typeDot], rest[typeDot+1:]
+	var os funcsum.OptionStruct
+	if !pass.ImportObjectFactByName(funcsum.Analyzer, pkgPath, typeName, &os) {
+		return "", false
+	}
+	reason, ok := os.Exempt[field]
+	return reason, ok
+}
+
+// transitiveImports returns the paths of every package reachable from
+// pkg's imports, sorted.
+func transitiveImports(pkg *types.Package) []string {
+	seen := make(map[string]bool)
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			if seen[imp.Path()] {
+				continue
+			}
+			seen[imp.Path()] = true
+			visit(imp)
+		}
+	}
+	visit(pkg)
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedScopes(m map[string]map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedReadKeys(m map[string]*funcsum.Chain) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

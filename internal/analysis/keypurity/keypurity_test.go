@@ -1,0 +1,15 @@
+package keypurity_test
+
+import (
+	"testing"
+
+	"cpr/internal/analysis/analysistest"
+	"cpr/internal/analysis/keypurity"
+)
+
+func TestKeypurity(t *testing.T) {
+	analysistest.Run(t, "testdata", keypurity.Analyzer,
+		"keypurity",
+		"keypurityclean",
+	)
+}

@@ -1,0 +1,30 @@
+// Package keypurity exercises the fingerprint-completeness and purity
+// checks: an encoder that misses a field some entry reads is flagged at
+// the encoder, an entry depending on process state is flagged at the
+// entry, and exempted fields stay silent.
+package keypurity
+
+import (
+	"strconv"
+	"time"
+
+	"keypurityopts"
+)
+
+// Fingerprint encodes the stage cache key. It covers Width but not
+// Iters, which SolveLower (a package below) reads — the coverage gap is
+// reported here, at the function that must change.
+//
+//keypurity:encoder stage
+func Fingerprint(o *keypurityopts.Options) string { // want `fingerprint encoder Fingerprint \(scope "stage"\) does not cover keypurityopts\.Options\.Iters, which keypurityopts\.SolveLower reads \(keypurityopts\.Options\.Iters\); fingerprint the field or mark it //keypurity:exempt`
+	return strconv.Itoa(o.Width)
+}
+
+// SolveUpper is cached under the stage fingerprint: Width is covered,
+// Workers is exempt, but the wall-clock read breaks purity.
+//
+//keypurity:entry stage
+func SolveUpper(o *keypurityopts.Options) int { // want `cache entry SolveUpper reads the wall clock: time\.Now; cached results must be a pure function of the fingerprinted inputs`
+	_ = time.Now()
+	return o.Width + o.Workers
+}

@@ -1,0 +1,42 @@
+// Package keypurityclean holds a fully covered contract: the encoder
+// fingerprints every field its entries read, and the one clock read is
+// suppressed at the leaf with a documented reason — no findings.
+package keypurityclean
+
+import (
+	"strconv"
+	"time"
+)
+
+// Params configures the evaluation.
+//
+//keypurity:options
+type Params struct {
+	Seed  int
+	Limit int
+}
+
+// Key fingerprints both fields.
+//
+//keypurity:encoder local
+func Key(p *Params) string {
+	return strconv.Itoa(p.Seed) + ":" + strconv.Itoa(p.Limit)
+}
+
+// Eval reads only covered fields.
+//
+//keypurity:entry local
+func Eval(p *Params) int {
+	return p.Seed + p.Limit
+}
+
+// Traced reads the clock for a latency metric only; the leaf-site
+// suppression keeps it out of the summary, so the entry stays pure.
+//
+//keypurity:entry local
+func Traced(p *Params) int {
+	//cprlint:keypurity latency metric only; never part of the cached result
+	start := time.Now()
+	_ = start
+	return p.Seed
+}

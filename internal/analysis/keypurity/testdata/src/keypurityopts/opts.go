@@ -1,0 +1,22 @@
+// Package keypurityopts declares the options contract under test and a
+// cache entry one package below its fingerprint encoder.
+package keypurityopts
+
+// Options configures the solve.
+//
+//keypurity:options
+type Options struct {
+	Width int
+	Iters int
+	// Workers only partitions the execution; results are identical at
+	// any parallelism.
+	Workers int //keypurity:exempt execution parallelism; never affects results
+}
+
+// SolveLower is cached under the stage fingerprint, declared below the
+// encoder's package — its coverage is checked where the encoder lives.
+//
+//keypurity:entry stage
+func SolveLower(o *Options) int {
+	return o.Width * o.Iters
+}

@@ -49,15 +49,25 @@ type Package struct {
 	TypeErrors []error
 }
 
-// listPkg is the subset of `go list -json` output the loader consumes.
-type listPkg struct {
+// Meta is the subset of `go list -json` output the loader consumes and
+// exposes to the engine for its dependency walk.
+type Meta struct {
 	ImportPath string
 	Name       string
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	ImportMap  map[string]string
 	DepOnly    bool
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// InModule reports whether the package belongs to the given module —
+// the set the interprocedural engine summarizes from source.
+func (m *Meta) InModule(modPath string) bool {
+	return !m.Standard && m.Module != nil && m.Module.Path == modPath && modPath != ""
 }
 
 // Loader loads and caches packages. It is not safe for concurrent use.
@@ -72,7 +82,7 @@ type Loader struct {
 	// testdata/src directory).
 	TestdataSrc string
 
-	meta    map[string]*listPkg
+	meta    map[string]*Meta
 	exports types.Importer
 	source  map[string]*Package // source-checked packages by PkgPath
 }
@@ -82,7 +92,7 @@ func New(moduleDir string) *Loader {
 	l := &Loader{
 		Fset:      token.NewFileSet(),
 		ModuleDir: moduleDir,
-		meta:      make(map[string]*listPkg),
+		meta:      make(map[string]*Meta),
 		source:    make(map[string]*Package),
 	}
 	l.exports = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
@@ -104,7 +114,7 @@ func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
 
 // describe returns go list metadata for one import path, invoking go
 // list if the path is unknown.
-func (l *Loader) describe(path string) (*listPkg, error) {
+func (l *Loader) describe(path string) (*Meta, error) {
 	if p, ok := l.meta[path]; ok {
 		return p, nil
 	}
@@ -118,13 +128,21 @@ func (l *Loader) describe(path string) (*listPkg, error) {
 	return p, nil
 }
 
+// Describe exposes go list metadata for the engine's dependency walk.
+func (l *Loader) Describe(path string) (*Meta, error) { return l.describe(path) }
+
+// List resolves the patterns to their root packages (transitive
+// dependencies are described as a side effect and available via
+// Describe) in listing order.
+func (l *Loader) List(patterns ...string) ([]*Meta, error) { return l.goList(patterns...) }
+
 // goList runs `go list -deps -export -json` on the patterns, merges all
 // described packages into the metadata cache, and returns the roots
 // (the non-DepOnly packages of this invocation) in listing order.
-func (l *Loader) goList(patterns ...string) ([]*listPkg, error) {
+func (l *Loader) goList(patterns ...string) ([]*Meta, error) {
 	args := []string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Name,Dir,Export,GoFiles,ImportMap,DepOnly",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Imports,ImportMap,DepOnly,Standard,Module",
 		"--",
 	}
 	args = append(args, patterns...)
@@ -140,10 +158,10 @@ func (l *Loader) goList(patterns ...string) ([]*listPkg, error) {
 		return nil, fmt.Errorf("loader: go list %s: %v\n%s",
 			strings.Join(patterns, " "), err, stderr.String())
 	}
-	var roots []*listPkg
+	var roots []*Meta
 	dec := json.NewDecoder(&stdout)
 	for {
-		p := new(listPkg)
+		p := new(Meta)
 		if err := dec.Decode(p); err == io.EOF {
 			break
 		} else if err != nil {
@@ -177,6 +195,34 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// LoadPath type-checks the single package named by an import path from
+// source — the engine uses it to summarize in-module dependencies that
+// are not analysis targets. It fails on parse or type errors, like Load.
+func (l *Loader) LoadPath(path string) (*Package, error) {
+	if pkg, ok := l.source[path]; ok {
+		return pkg, nil
+	}
+	p, err := l.describe(path)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := l.checkDir(p.Dir, p.ImportPath, p.GoFiles, p.ImportMap)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkg.TypeErrors) > 0 {
+		return nil, fmt.Errorf("loader: %s: %v", pkg.PkgPath, pkg.TypeErrors[0])
+	}
+	return pkg, nil
+}
+
+// SourcePkg returns the already source-checked package for an import
+// path, if this loader has one.
+func (l *Loader) SourcePkg(path string) (*Package, bool) {
+	pkg, ok := l.source[path]
+	return pkg, ok
 }
 
 // LoadDir type-checks the package in dir under the given import path,
@@ -264,6 +310,12 @@ func (pi *pkgImporter) Import(path string) (*types.Package, error) {
 			}
 			return pkg.Types, nil
 		}
+	}
+	// Prefer an already source-checked package: the engine walks
+	// dependencies first, so dependents see the same types.Object
+	// identities the dependency's own analysis exported facts under.
+	if pkg, ok := l.source[path]; ok {
+		return pkg.Types, nil
 	}
 	return l.exports.Import(path)
 }

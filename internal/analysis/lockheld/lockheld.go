@@ -1,0 +1,433 @@
+// Package lockheld flags blocking work performed while a sync.Mutex or
+// sync.RWMutex is held: network and file I/O, time.Sleep, bare channel
+// operations, selects with no default — anything that can park the
+// goroutine for an unbounded time while every other goroutine contending
+// for the lock waits behind it. The check is interprocedural: a call
+// into a function whose funcsum summary says "blocks" is flagged with
+// the full chain, so the PR 7 bug — a design-cache lookup that resolves
+// misses over peer HTTP, performed under the job-manager mutex — is
+// caught even though the HTTP call is three packages away.
+//
+// Lock tracking is path-sensitive over structured control flow: a
+// branch that unlocks and returns does not poison the fall-through
+// path, and the held set after if/switch/select is the union of the
+// branches that actually fall through. A deferred unlock keeps the lock
+// held to function end, which is the point: blocking work after
+// `defer mu.Unlock()` still blocks lock waiters.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cpr/internal/analysis"
+	"cpr/internal/analysis/funcsum"
+)
+
+// Analyzer reports blocking calls on critical sections.
+var Analyzer = &analysis.Analyzer{
+	Name:     "lockheld",
+	Doc:      "reports blocking operations (I/O, channel ops, sleeps, selects) performed while a sync.Mutex or RWMutex is held, including blocking reached through calls into other module packages",
+	Requires: []*analysis.Analyzer{funcsum.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass}
+			c.stmts(fd.Body.List, map[string]lockSite{})
+		}
+	}
+	return nil
+}
+
+// lockSite remembers where a lock was taken.
+type lockSite struct {
+	key  string
+	line int
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// stmts walks a statement list with the current held-lock set, mutating
+// held in place. It reports true when the list cannot fall through
+// (return, branch, panic, fatal exit).
+func (c *checker) stmts(list []ast.Stmt, held map[string]lockSite) bool {
+	for _, s := range list {
+		if c.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) stmt(s ast.Stmt, held map[string]lockSite) bool {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		c.expr(x.X, held)
+		return isTerminalCall(c.pass.TypesInfo, x.X)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			c.expr(r, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			c.expr(e, held)
+		}
+		for _, e := range x.Lhs {
+			c.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		c.expr(x.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		c.expr(x.Chan, held)
+		c.expr(x.Value, held)
+		c.blockingOp(x.Arrow, "channel send", held)
+	case *ast.DeferStmt:
+		// A deferred call runs at return with an unknown lock state;
+		// only its arguments are evaluated here. Deferred unlocks are
+		// deliberately NOT treated as releases: the lock stays held for
+		// the remainder of the function.
+		for _, a := range x.Call.Args {
+			c.expr(a, held)
+		}
+	case *ast.GoStmt:
+		for _, a := range x.Call.Args {
+			c.expr(a, held)
+		}
+	case *ast.BlockStmt:
+		return c.stmts(x.List, held)
+	case *ast.LabeledStmt:
+		return c.stmt(x.Stmt, held)
+	case *ast.IfStmt:
+		return c.ifStmt(x, held)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, held)
+		}
+		if x.Cond != nil {
+			c.expr(x.Cond, held)
+		}
+		body := clone(held)
+		if !c.stmts(x.Body.List, body) && x.Post != nil {
+			c.stmt(x.Post, body)
+		}
+		union(held, body)
+	case *ast.RangeStmt:
+		c.expr(x.X, held)
+		if t := c.pass.TypesInfo.TypeOf(x.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				c.blockingOp(x.For, "range over channel", held)
+			}
+		}
+		body := clone(held)
+		c.stmts(x.Body.List, body)
+		union(held, body)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, held)
+		}
+		if x.Tag != nil {
+			c.expr(x.Tag, held)
+		}
+		return c.clauses(x.Body.List, held, hasDefaultCase(x.Body.List))
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, held)
+		}
+		return c.clauses(x.Body.List, held, hasDefaultCase(x.Body.List))
+	case *ast.SelectStmt:
+		if !selectHasDefault(x) {
+			c.blockingOp(x.Select, "select with no default case", held)
+		}
+		return c.selectClauses(x, held)
+	}
+	return false
+}
+
+// ifStmt evaluates both arms on clones and leaves held as the union of
+// the arms that fall through; a branch ending in return/panic does not
+// contribute its lock state downstream.
+func (c *checker) ifStmt(x *ast.IfStmt, held map[string]lockSite) bool {
+	if x.Init != nil {
+		c.stmt(x.Init, held)
+	}
+	c.expr(x.Cond, held)
+	thenHeld := clone(held)
+	thenTerm := c.stmts(x.Body.List, thenHeld)
+
+	elseTerm := false
+	var elseHeld map[string]lockSite
+	if x.Else != nil {
+		elseHeld = clone(held)
+		elseTerm = c.stmt(x.Else, elseHeld)
+	}
+
+	merged := map[string]lockSite{}
+	fallthroughs := 0
+	if !thenTerm {
+		union(merged, thenHeld)
+		fallthroughs++
+	}
+	if x.Else != nil {
+		if !elseTerm {
+			union(merged, elseHeld)
+			fallthroughs++
+		}
+	} else {
+		union(merged, held) // condition false: state unchanged
+		fallthroughs++
+	}
+	replace(held, merged)
+	return fallthroughs == 0
+}
+
+// clauses merges switch/type-switch case bodies; without a default the
+// zero-case fall-through keeps the entry state.
+func (c *checker) clauses(list []ast.Stmt, held map[string]lockSite, hasDefault bool) bool {
+	merged := map[string]lockSite{}
+	fallthroughs := 0
+	for _, cl := range list {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			c.expr(e, held)
+		}
+		h := clone(held)
+		if !c.stmts(cc.Body, h) {
+			union(merged, h)
+			fallthroughs++
+		}
+	}
+	if !hasDefault {
+		union(merged, held)
+		fallthroughs++
+	}
+	replace(held, merged)
+	return fallthroughs == 0 && len(list) > 0
+}
+
+func (c *checker) selectClauses(x *ast.SelectStmt, held map[string]lockSite) bool {
+	merged := map[string]lockSite{}
+	fallthroughs := 0
+	for _, cl := range x.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		h := clone(held)
+		// The comm operation itself is part of the select's readiness,
+		// already accounted for by the no-default check; only the body runs.
+		if !c.stmts(cc.Body, h) {
+			union(merged, h)
+			fallthroughs++
+		}
+	}
+	if len(x.Body.List) == 0 {
+		return false // empty select blocks forever; nothing merges
+	}
+	replace(held, merged)
+	return fallthroughs == 0
+}
+
+func hasDefaultCase(list []ast.Stmt) bool {
+	for _, cl := range list {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// expr scans an expression subtree for mutex operations, blocking
+// calls, and bare channel receives. Function literal bodies are skipped:
+// they run later, under whatever lock state their caller has.
+func (c *checker) expr(e ast.Expr, held map[string]lockSite) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if c.mutexOp(x, held) {
+				return false
+			}
+			c.checkCall(x, held)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				c.blockingOp(x.OpPos, "channel receive", held)
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp updates held when call is sync.(*Mutex)/(*RWMutex)
+// Lock/RLock/Unlock/RUnlock, keyed by the receiver expression text.
+func (c *checker) mutexOp(call *ast.CallExpr, held map[string]lockSite) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := types.Unalias(sig.Recv().Type())
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = types.Unalias(p.Elem())
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return false
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		held[key] = lockSite{key: key, line: c.pass.Fset.Position(call.Pos()).Line}
+		return true
+	case "Unlock", "RUnlock":
+		delete(held, key)
+		return true
+	}
+	return false
+}
+
+// checkCall flags a call that blocks — per the standard-library table
+// or the callee's interprocedural summary — while a lock is held.
+func (c *checker) checkCall(call *ast.CallExpr, held map[string]lockSite) {
+	if len(held) == 0 {
+		return
+	}
+	if what, ok := funcsum.BlockingCall(c.pass.TypesInfo, call); ok {
+		c.report(call.Pos(), "blocking call to "+what, held)
+		return
+	}
+	fn := analysis.FuncOf(c.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sum, ok := funcsum.LookupSummary(c.pass, fn)
+	if !ok || sum.Blocking == nil {
+		return
+	}
+	ch := &funcsum.Chain{What: sum.Blocking.What, Via: append([]string{fn.Origin().FullName()}, sum.Blocking.Via...)}
+	c.report(call.Pos(), "call that may block: "+ch.String(), held)
+}
+
+func (c *checker) blockingOp(pos token.Pos, what string, held map[string]lockSite) {
+	if len(held) == 0 {
+		return
+	}
+	c.report(pos, what, held)
+}
+
+func (c *checker) report(pos token.Pos, what string, held map[string]lockSite) {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if held[keys[i]].line != held[keys[j]].line {
+			return held[keys[i]].line < held[keys[j]].line
+		}
+		return keys[i] < keys[j]
+	})
+	ls := held[keys[0]]
+	c.pass.Reportf(pos, "%s while %q is held (locked at line %d); move the blocking work off the critical section or annotate with //cprlint:lockheld <reason>",
+		what, ls.key, ls.line)
+}
+
+// isTerminalCall reports whether an expression statement never returns:
+// panic, os.Exit, runtime.Goexit, log.Fatal*.
+func isTerminalCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+			return true
+		}
+	}
+	fn := analysis.FuncOf(info, call)
+	if fn == nil {
+		return false
+	}
+	switch fn.FullName() {
+	case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+		return true
+	}
+	if strings.HasPrefix(fn.FullName(), "(*testing.common).Fatal") {
+		return true
+	}
+	return false
+}
+
+func clone(held map[string]lockSite) map[string]lockSite {
+	out := make(map[string]lockSite, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func union(into, from map[string]lockSite) {
+	for k, v := range from {
+		if _, ok := into[k]; !ok {
+			into[k] = v
+		}
+	}
+}
+
+func replace(held, with map[string]lockSite) {
+	for k := range held {
+		delete(held, k)
+	}
+	for k, v := range with {
+		held[k] = v
+	}
+}

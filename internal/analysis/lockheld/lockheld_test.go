@@ -1,0 +1,20 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"cpr/internal/analysis/analysistest"
+	"cpr/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, "testdata", lockheld.Analyzer, "lockheld")
+}
+
+// TestSubmitBaseRegression is the negative control for the reverted
+// PR 7 bug: a cache lookup that resolves misses over peer HTTP, called
+// under the job-manager mutex, must be flagged through the full
+// three-package chain — and the off-lock rewrite must be clean.
+func TestSubmitBaseRegression(t *testing.T) {
+	analysistest.Run(t, "testdata", lockheld.Analyzer, "submitbase")
+}

@@ -1,0 +1,128 @@
+// Package lockheld exercises path-sensitive lock tracking: blocking
+// work on a critical section is flagged, lock-check-unlock idioms and
+// non-blocking select-with-default enqueues are not.
+package lockheld
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func direct(c *counter) {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking call to time\.Sleep while "c\.mu" is held \(locked at line \d+\)`
+	c.n++
+	c.mu.Unlock()
+}
+
+func unlockFirst(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+func deferredUnlock(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// A deferred unlock runs at return: the lock is held across the call.
+	http.Get("http://peer/block") // want `blocking call to net/http\.Get while "c\.mu" is held`
+}
+
+func branchRelease(c *counter, fast bool) {
+	c.mu.Lock()
+	if fast {
+		c.mu.Unlock()
+		time.Sleep(time.Millisecond) // released on this path: clean
+		return
+	}
+	c.n++
+	time.Sleep(time.Millisecond) // want `blocking call to time\.Sleep while "c\.mu" is held`
+	c.mu.Unlock()
+}
+
+func checkThenUnlock(c *counter) int {
+	c.mu.Lock()
+	if c.n > 0 {
+		n := c.n
+		c.mu.Unlock()
+		return n
+	}
+	c.mu.Unlock()
+	time.Sleep(time.Millisecond) // both paths released before here: clean
+	return 0
+}
+
+func sendHeld(c *counter, ch chan int) {
+	c.mu.Lock()
+	ch <- 1 // want `channel send while "c\.mu" is held`
+	c.mu.Unlock()
+}
+
+func tryEnqueue(c *counter, ch chan int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Select with a default never parks: the PR 7 fixed enqueue idiom.
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+func waitHeld(c *counter, ch chan int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // want `select with no default case while "c\.mu" is held`
+	case v := <-ch:
+		return v
+	case <-ch:
+		return 0
+	}
+}
+
+func slowPath() {
+	time.Sleep(time.Millisecond)
+}
+
+func callsHelper(c *counter) {
+	c.mu.Lock()
+	slowPath() // want `call that may block: call to time\.Sleep \(via lockheld\.slowPath\) while "c\.mu" is held`
+	c.mu.Unlock()
+}
+
+func suppressed(c *counter) {
+	c.mu.Lock()
+	//cprlint:lockheld flush holds the lock by design; bounded single-page write
+	time.Sleep(time.Millisecond)
+	c.mu.Unlock()
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+func readHeld(t *table, key string) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	time.Sleep(time.Millisecond) // want `blocking call to time\.Sleep while "t\.mu" is held`
+	return t.m[key]
+}
+
+func literalRunsLater(c *counter) func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The literal body executes under the eventual caller's lock state,
+	// not this one: clean.
+	return func() {
+		time.Sleep(time.Millisecond)
+	}
+}

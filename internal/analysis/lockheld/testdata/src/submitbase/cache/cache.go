@@ -1,0 +1,21 @@
+// Package cache is the stub design cache: memory first, peer exchange
+// on miss — the blocking is two calls down from the manager.
+package cache
+
+import "submitbase/exchange"
+
+type Backed struct {
+	mem map[string]string
+	ex  *exchange.Service
+}
+
+func (b *Backed) Get(key string) (string, bool) {
+	if v, ok := b.mem[key]; ok {
+		return v, true
+	}
+	v, err := b.ex.GetBlock(key)
+	if err != nil {
+		return "", false
+	}
+	return v, true
+}

@@ -1,0 +1,23 @@
+// Package exchange is the stub peer exchange whose block fetch goes
+// over HTTP — the root of the blocking chain.
+package exchange
+
+import (
+	"io"
+	"net/http"
+)
+
+type Service struct {
+	client *http.Client
+	peer   string
+}
+
+func (s *Service) GetBlock(key string) (string, error) {
+	resp, err := s.client.Get(s.peer + "/block/" + key)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

@@ -1,0 +1,45 @@
+// Package submitbase replays the reverted PR 7 job-manager bug as a
+// negative control: the design-cache lookup — which resolves misses
+// over peer HTTP three packages away — ran inside the manager mutex,
+// so one slow peer fetch stalled every concurrent submitter. lockheld
+// must flag the historical shape (SubmitBase) and stay quiet on the
+// fixed shape (SubmitFixed), which resolves the miss off-lock and
+// re-takes the lock only to publish.
+package submitbase
+
+import (
+	"sync"
+
+	"submitbase/cache"
+)
+
+type Manager struct {
+	mu   sync.Mutex
+	jobs map[string]string
+	c    *cache.Backed
+}
+
+func (m *Manager) SubmitBase(key string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.jobs[key]; ok {
+		return v
+	}
+	v, _ := m.c.Get(key) // want `call that may block: call to net/http\.\(\*Client\)\.Get \(via \(\*submitbase/cache\.Backed\)\.Get -> \(\*submitbase/exchange\.Service\)\.GetBlock\) while "m\.mu" is held`
+	m.jobs[key] = v
+	return v
+}
+
+func (m *Manager) SubmitFixed(key string) string {
+	m.mu.Lock()
+	if v, ok := m.jobs[key]; ok {
+		m.mu.Unlock()
+		return v
+	}
+	m.mu.Unlock()
+	v, _ := m.c.Get(key)
+	m.mu.Lock()
+	m.jobs[key] = v
+	m.mu.Unlock()
+	return v
+}

@@ -154,12 +154,17 @@ func (d *Disk) Put(key string, data []byte) error {
 		return fmt.Errorf("blockstore: creating shard for %s: %w", key, err)
 	}
 
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	// Commit outside the lock: the rename is atomic at the filesystem
+	// level, and holding d.mu across disk I/O would stall every reader
+	// behind one slow write. Concurrent Puts of the same key each commit
+	// a complete block; the index update below is what orders them.
 	if err := os.Rename(tmpName, d.blockPath(key)); err != nil {
 		_ = os.Remove(tmpName)
 		return fmt.Errorf("blockstore: committing %s: %w", key, err)
 	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if el, ok := d.blocks[key]; ok {
 		e := el.Value.(*diskEntry)
 		d.bytes += int64(len(data)) - e.size
@@ -234,6 +239,7 @@ func (d *Disk) Delete(key string) error {
 	if !ok {
 		return nil
 	}
+	//cprlint:lockheld file unlink and index removal must be atomic under d.mu or a racing Get could resurrect a deleted key; unlinking a local file is bounded work
 	if err := os.Remove(d.blockPath(key)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("blockstore: deleting %s: %w", key, err)
 	}
@@ -281,6 +287,7 @@ func (d *Disk) gcLocked() {
 		prev := el.Prev()
 		e := el.Value.(*diskEntry)
 		if !d.pins.pinned(e.key) {
+			//cprlint:lockheld eviction must unlink the file and drop its index entry atomically under d.mu; unlinking a local file is bounded work
 			if err := os.Remove(d.blockPath(e.key)); err == nil || os.IsNotExist(err) {
 				d.removeIndexLocked(el)
 				d.evictions++

@@ -142,6 +142,8 @@ type RouteCache interface {
 
 // Options configures a run. Zero values give the paper's defaults
 // (ModeCPR with LR optimization).
+//
+//keypurity:options
 type Options struct {
 	Mode       Mode
 	Optimizer  Optimizer
@@ -165,27 +167,37 @@ type Options struct {
 	// guarantees byte-identical results — metrics, selected intervals,
 	// and routes — for every value (only wall-clock fields such as
 	// Metrics.CPUSeconds and PinOptReport.Elapsed vary).
+	//
+	//keypurity:exempt pipeline parallelism; the internal/parallel determinism contract makes results byte-identical for every worker count
 	Workers int
 	// Parallelism is the number of panels optimized concurrently.
 	//
 	// Deprecated: set Workers instead. Parallelism is honoured only when
 	// Workers is zero.
+	//
+	//keypurity:exempt deprecated alias of Workers; same determinism contract
 	Parallelism int
 	// PanelCache, when non-nil, is consulted for per-panel artifacts
 	// before each panel is solved and updated with recomputed ones.
 	// Content addressing makes it invisible in results (it never affects
 	// bytes, only wall clock), so it is excluded from cache-key
 	// fingerprints, like Workers.
+	//
+	//keypurity:exempt content-addressed artifact store; equal keys address byte-identical artifacts, so a cache can only skip recomputation
 	PanelCache PanelCache
 	// RouteCache, when non-nil, is consulted for per-region route bundles
 	// before each region is routed and updated with recomputed ones.
 	// Content-addressed like PanelCache, and equally invisible in
 	// results.
+	//
+	//keypurity:exempt content-addressed artifact store; equal keys address byte-identical artifacts, so a cache can only skip recomputation
 	RouteCache RouteCache
 	// RerunMode selects the routing reuse contract of Rerun: RerunStrict
 	// (default, byte-identical) or RerunEcoFast (verified DRC-clean and
 	// objective-equal). Ignored on cold runs, which have nothing to
 	// reuse.
+	//
+	//keypurity:exempt reuse-contract selector for Rerun only; eco-fast results are never design-cached (jobs.Submit refuses the key) and cold runs ignore it
 	RerunMode RerunMode
 }
 
@@ -210,6 +222,12 @@ func solverConfig(o Options) pipeline.SolverConfig {
 		Profit: o.Profit,
 	}
 }
+
+// SolverConfig exposes the exact Options -> pipeline.SolverConfig mapping
+// a run uses, so external cache keying (jobs.Fingerprint) is derived from
+// the same fields the pipeline actually consumes and the two can never
+// drift apart.
+func (o Options) SolverConfig() pipeline.SolverConfig { return solverConfig(o) }
 
 // panelWorkerSplit divides the worker budget between the panel shard
 // (outer) and each panel's internal stages (inner) so total concurrency
@@ -308,6 +326,8 @@ func Run(d *design.Design, opts Options) (*RunResult, error) {
 // stages, so a canceled or timed-out run stops doing work promptly and
 // returns an error wrapping ctx.Err(). A context that never fires
 // leaves the computation byte-identical to Run.
+//
+//keypurity:entry design
 func RunContext(ctx context.Context, d *design.Design, opts Options) (*RunResult, error) {
 	return runFlow(ctx, d, opts, reuseInputs{})
 }
@@ -331,6 +351,8 @@ func Rerun(prev *RunResult, edited *design.Design, opts Options) (*RunResult, er
 }
 
 // RerunContext is Rerun with cancellation (see RunContext).
+//
+//keypurity:entry design
 func RerunContext(ctx context.Context, prev *RunResult, edited *design.Design, opts Options) (*RunResult, error) {
 	var reuse reuseInputs
 	if prev != nil && prev.Artifacts != nil && opts.Mode == ModeCPR {
@@ -456,6 +478,8 @@ func OptimizePinAccess(d *design.Design, opts Options) (*PinOptReport, []PanelSe
 // checked before each panel subproblem starts and between the LR
 // subgradient iterations inside each panel, so a canceled run abandons
 // remaining work and reports an error wrapping ctx.Err().
+//
+//keypurity:entry design
 func OptimizePinAccessContext(ctx context.Context, d *design.Design, opts Options) (*PinOptReport, []PanelSeed, error) {
 	report, seeds, _, _, err := optimizePanels(ctx, d, opts, nil)
 	return report, seeds, err

@@ -67,6 +67,8 @@ func (s Status) String() string {
 }
 
 // Config bounds the branch-and-bound search.
+//
+//keypurity:options
 type Config struct {
 	// MaxNodes caps the number of explored nodes (0 = no cap).
 	MaxNodes int
@@ -94,6 +96,7 @@ const intTol = 1e-6
 func Solve(p *Problem, cfg Config) Result {
 	s := &solver{p: p, cfg: cfg, incumbentObj: math.Inf(-1)}
 	if cfg.TimeLimit > 0 {
+		//cprlint:keypurity deadline arming for TimeLimit enforcement; TimeLimit>0 configs are excluded from content addressing (SolverConfig.Cacheable)
 		s.deadline = time.Now().Add(cfg.TimeLimit)
 	}
 	if cfg.InitialSolution != nil && len(cfg.InitialSolution) == p.NumVars &&
@@ -147,6 +150,7 @@ func (s *solver) branch(fixed []int8, isRoot bool) {
 		s.hitLimit = true
 		return
 	}
+	//cprlint:keypurity deadline polling for TimeLimit enforcement; TimeLimit>0 configs are excluded from content addressing (SolverConfig.Cacheable)
 	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
 		s.hitLimit = true
 		return

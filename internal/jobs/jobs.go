@@ -276,27 +276,22 @@ func (j *Job) Wait(ctx context.Context) error {
 // Fingerprint renders the result-affecting fields of Options into a
 // canonical string for cache keying. Worker counts are deliberately
 // excluded — the pipeline's determinism contract makes results
-// byte-identical for every worker count — and a custom Profit function
-// yields the sentinel "profit=custom", which Submit treats as
-// uncacheable because function identity cannot be content-addressed.
+// byte-identical for every worker count. The solver and router halves
+// are delegated to the pipeline's own fingerprint encoders through the
+// same Options mapping a run uses (Options.SolverConfig), so the design
+// key can never drift from the fields the pipeline actually consumes;
+// non-addressable inputs (a custom Profit, an LR Stop hook) surface as
+// sentinels, and Submit refuses to cache under them.
+//
+//keypurity:encoder design
 func Fingerprint(o core.Options) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "v1 mode=%s optimizer=%s", o.Mode, o.Optimizer)
-	fmt.Fprintf(&b, " lr=%d,%g,%t,%t,%t,%t",
-		o.LR.MaxIterations, o.LR.Alpha, o.LR.DisableSameNetTieBreak,
-		o.LR.FullSubgradient, o.LR.SkipRefinement, o.LR.SkipPostImprove)
-	fmt.Fprintf(&b, " ilp=%d,%d", o.ILP.MaxNodes, int64(o.ILP.TimeLimit))
-	r := o.Router
-	fmt.Fprintf(&b, " router=%d,%d,%g,%g,%g,%d,%d,%d,%d,%t",
-		r.Order, r.MaxNegotiationIters, r.PresentCostBase, r.PresentCostGrowth,
-		r.HistoryIncrement, r.WindowMargin, r.WindowGrowth, r.MaxWindowMargin,
-		r.StallRounds, r.SkipDRC)
+	fmt.Fprintf(&b, "v2 mode=%s", o.Mode)
+	b.WriteString(" " + o.SolverConfig().Fingerprint())
+	b.WriteString(" " + pipeline.RouterFingerprint(o.Router))
 	s := o.Sequential
 	fmt.Fprintf(&b, " seq=%d,%d,%d,%d",
 		s.RetryRounds, s.WindowMargin, s.MaxRipsPerNet, s.VictimsPerFailure)
-	if o.Profit != nil {
-		b.WriteString(" profit=custom")
-	}
 	return b.String()
 }
 
@@ -513,7 +508,12 @@ func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID stri
 	}
 
 	fp := Fingerprint(opts)
-	cacheable := opts.Profit == nil &&
+	// Design-level cacheability follows the pipeline's own rule
+	// (SolverConfig.Cacheable: custom Profit, LR Stop hooks, and
+	// time-limited ILP are not content-addressable) plus one job-layer
+	// exclusion: eco-fast rerun results are objective-equal but not
+	// byte-identical to a cold run, so they must never answer a cold key.
+	cacheable := opts.SolverConfig().Cacheable() &&
 		!(opts.RerunMode == core.RerunEcoFast && base != nil)
 	var key string
 	if cacheable {

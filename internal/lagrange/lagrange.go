@@ -27,6 +27,8 @@ import (
 )
 
 // Config tunes the LR solver. Zero values take the paper's defaults.
+//
+//keypurity:options
 type Config struct {
 	// MaxIterations is the iteration upper bound UB (default 200).
 	MaxIterations int
@@ -54,6 +56,8 @@ type Config struct {
 	// in conflict-set index order so every floating point accumulation
 	// happens in the sequential order. <= 1 runs fully sequentially; the
 	// result is byte-identical for every value.
+	//
+	//keypurity:exempt execution parallelism; the internal/parallel determinism contract makes results byte-identical for every worker count
 	Workers int
 	// Stop is polled between subgradient iterations; when it reports
 	// true the loop exits early with the best selection seen so far
@@ -69,6 +73,8 @@ type Config struct {
 	// the trajectory, so results are byte-identical with or without it,
 	// and it is excluded from every cache-key fingerprint. It runs on the
 	// solving goroutine; keep it cheap.
+	//
+	//keypurity:exempt strictly observational; the callback sees copies and cannot influence the trajectory
 	Observer func(IterationStat)
 }
 

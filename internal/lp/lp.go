@@ -306,6 +306,7 @@ func (t *tableau) solve(p *Problem) Solution {
 func (t *tableau) iterate(colLimit int) Status {
 	blandAfter := t.maxIter / 2
 	for ; t.iters < t.maxIter; t.iters++ {
+		//cprlint:keypurity deadline polling only; the deadline is armed solely by ilp TimeLimit runs, which are excluded from content addressing (SolverConfig.Cacheable)
 		if t.iters%128 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
 			return IterLimit
 		}

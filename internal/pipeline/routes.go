@@ -47,6 +47,8 @@ type RouteArtifact struct {
 // into a canonical string, the second half of the per-region route key.
 // Workers is deliberately absent: the deterministic worker-pool contract
 // makes route bytes identical for every worker count.
+//
+//keypurity:encoder stage
 func RouterFingerprint(cfg router.Config) string {
 	c := cfg.Normalized()
 	return fmt.Sprintf("route-v1 order=%s iters=%d pres=%s,%s hist=%s win=%d,%d,%d stall=%d skipdrc=%t",

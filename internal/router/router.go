@@ -66,6 +66,8 @@ func (o NetOrder) String() string {
 }
 
 // Config tunes the negotiation router. Zero values take defaults.
+//
+//keypurity:options
 type Config struct {
 	// Order selects the net routing order (default OrderHPWLAsc).
 	Order NetOrder
@@ -101,6 +103,8 @@ type Config struct {
 	// and the reduce is ordered, so results are byte-identical for every
 	// worker count. Excluded from content-key fingerprints for the same
 	// reason.
+	//
+	//keypurity:exempt region-level parallelism; the internal/parallel determinism contract makes route bytes identical for every worker count
 	Workers int
 }
 
@@ -511,7 +515,12 @@ func (r *Router) wholeShard(routes []*NetRoute) *shard {
 	return &shard{Router: r, region: &Region{Nets: allNets}, routes: routes, seedOcc: true}
 }
 
-// run executes the four routing stages region-locally.
+// run executes the four routing stages region-locally. Its output is
+// what a RouteArtifact captures and reuses, so it is a cache entry of
+// the stage scope: every router.Config field it reads must be covered by
+// pipeline.RouterFingerprint or exempted on the field.
+//
+//keypurity:entry stage
 func (s *shard) run(ctx context.Context) shardOutcome {
 	var oc shardOutcome
 	oc.summary.Nets = len(s.region.Nets)

@@ -10,6 +10,8 @@ import (
 
 // SequentialConfig tunes the sequential pin-access-planning baseline
 // (the PARR-style router of reference [12] in the paper).
+//
+//keypurity:options
 type SequentialConfig struct {
 	// RetryRounds is the number of deferred-net retry passes (net
 	// deferring with dynamic reordering; default 3).

@@ -13,6 +13,8 @@
 // A nil *Tracer, *Registry, or *Span is fully usable: every method is a
 // no-op on a nil receiver, so instrumented code needs no conditionals and
 // pays only a pointer test when telemetry is disabled.
+//
+//keypurity:observational spans and metrics never feed back into results or cache keys (§4e)
 package telemetry
 
 import (

@@ -31,6 +31,7 @@ import (
 	"cpr/internal/pipeline"
 	"cpr/internal/router"
 	"cpr/internal/synth"
+	"cpr/internal/tech"
 )
 
 // benchSpec is the Table 2 stand-in circuit used by routing benchmarks:
@@ -469,6 +470,49 @@ func BenchmarkIncrementalRerun(b *testing.B) {
 				b.ReportMetric(float64(res.Incremental.NetsSpliced), "netsSpliced")
 				b.ReportMetric(float64(res.Incremental.NetsWarm), "netsWarm")
 				b.ReportMetric(float64(res.Incremental.NetsRerouted), "netsRerouted")
+			}
+		})
+	}
+}
+
+// --- Cross-engine comparison ------------------------------------------
+//
+// BenchmarkRuleEngines routes benchlarge under each multi-patterning
+// rule engine and reports routing quality next to the engine's mask
+// decomposition, so the cost of swapping sadp for lele or tpl rules is
+// one bench run away. `go test -run '^$' -bench RuleEngines
+// -benchtime 1x .` regenerates BENCH_rule_engines.json. The timed
+// section is the full CPR flow; mask analysis runs off the clock.
+
+func BenchmarkRuleEngines(b *testing.B) {
+	for _, engine := range []string{tech.EngineSADP, tech.EngineLELE, tech.EngineTPL} {
+		b.Run(engine, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				d, err := synth.Generate(benchLargeSpec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tc := *d.Tech
+				tc.Patterning.Engine = engine
+				d.Tech = &tc
+				b.StartTimer()
+				res, err := core.Run(d, core.Options{Workers: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				g := grid.New(d)
+				mask := tech.RulesFor(d.Tech).AnalyzeMask(cutmask.Segments(g, res.Router), d.Width, d.Height)
+				if engine == tech.EngineTPL && mask.Uncolorable != 0 {
+					b.Fatalf("tpl left %d uncolorable segments on benchlarge", mask.Uncolorable)
+				}
+				b.ReportMetric(res.PinOpt.Objective, "objective")
+				b.ReportMetric(res.Metrics.RoutPct, "rout%")
+				b.ReportMetric(float64(res.Metrics.Vias), "vias")
+				b.ReportMetric(float64(mask.Stitches), "stitches")
+				b.ReportMetric(float64(mask.Uncolorable), "uncolorable")
+				b.StartTimer()
 			}
 		})
 	}

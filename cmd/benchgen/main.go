@@ -29,18 +29,27 @@ import (
 	"cpr/internal/design"
 	"cpr/internal/designio"
 	"cpr/internal/synth"
+	"cpr/internal/tech"
 )
 
 func main() {
 	var (
-		out       = flag.String("out", ".", "output directory")
-		circuits  = cliutil.Circuits(cliutil.AllCircuits, "")
-		sweep     = flag.String("sweep", "", "comma-separated pin counts for Figure 6 sweep instances")
-		multi     = flag.Int("multiregion", 1, "tile each circuit this many times into separate routing regions (1 = off)")
-		regionGap = flag.Int("region-gap", 300, "empty columns between multi-region tiles (keep > 2x the router influence margin)")
+		out        = flag.String("out", ".", "output directory")
+		circuits   = cliutil.Circuits(cliutil.AllCircuits, "")
+		sweep      = flag.String("sweep", "", "comma-separated pin counts for Figure 6 sweep instances")
+		multi      = flag.Int("multiregion", 1, "tile each circuit this many times into separate routing regions (1 = off)")
+		regionGap  = flag.Int("region-gap", 300, "empty columns between multi-region tiles (keep > 2x the router influence margin)")
+		ruleEngine = cliutil.RuleEngine()
 	)
 	flag.Parse()
 
+	engine := ""
+	if *ruleEngine != "" {
+		var err error
+		if engine, err = tech.ParseEngine(*ruleEngine); err != nil {
+			fatal(err)
+		}
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
@@ -55,6 +64,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			stampEngine(d, engine)
 			write(*out, d)
 		}
 		return
@@ -74,8 +84,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		stampEngine(d, engine)
 		write(*out, d)
 	}
+}
+
+// stampEngine records the selected multi-patterning engine in the
+// generated design, so the saved file (and every run loading it) carries
+// the engine in its content address. The tech is cloned: generators may
+// share a Technology value across designs.
+func stampEngine(d *design.Design, engine string) {
+	if engine == "" {
+		return
+	}
+	t := *d.Tech
+	t.Patterning.Engine = engine
+	d.Tech = &t
 }
 
 func write(dir string, d *design.Design) {

@@ -40,6 +40,7 @@ func main() {
 		mode       = cliutil.Mode()
 		optimizer  = cliutil.Optimizer()
 		workers    = cliutil.Workers()
+		ruleEngine = cliutil.RuleEngine()
 		ilpTimeout = cliutil.ILPTimeout(30 * time.Second)
 		verbose    = flag.Bool("v", false, "print pin optimization and stage details")
 		baseline   = cliutil.Baseline()
@@ -83,7 +84,7 @@ func main() {
 		f.Close()
 	}
 
-	opts := core.Options{ILP: ilp.Config{TimeLimit: *ilpTimeout}, Workers: *workers}
+	opts := core.Options{ILP: ilp.Config{TimeLimit: *ilpTimeout}, Workers: *workers, RuleEngine: *ruleEngine}
 	if opts.Mode, err = cliutil.ParseMode(*mode); err != nil {
 		fatal(err)
 	}

@@ -40,6 +40,7 @@ import (
 	"cpr/internal/exchange"
 	"cpr/internal/jobs"
 	"cpr/internal/server"
+	"cpr/internal/tech"
 	"cpr/internal/telemetry"
 )
 
@@ -72,8 +73,19 @@ func main() {
 		storeMax     = flag.Int64("blockstore-max-bytes", 256<<20, "blockstore size bound before LRU garbage collection (0 = unbounded)")
 		peerTimeout  = flag.Duration("peer-timeout", exchange.DefaultPeerTimeout, "per-peer block fetch deadline")
 		workers      = cliutil.Workers()
+		ruleEngine   = cliutil.RuleEngine()
 	)
 	flag.Parse()
+
+	// The daemon-level engine default participates in job fingerprints
+	// (applied in the server before submission), so validate it up front.
+	defaultEngine := ""
+	if *ruleEngine != "" {
+		var err error
+		if defaultEngine, err = tech.ParseEngine(*ruleEngine); err != nil {
+			log.Fatalf("cprd: %v", err)
+		}
+	}
 
 	registry := telemetry.NewRegistry()
 
@@ -122,6 +134,9 @@ func main() {
 
 	apiSrv := server.New(mgr)
 	apiSrv.SetExchange(exch, peers)
+	if defaultEngine != "" {
+		apiSrv.SetDefaultRuleEngine(defaultEngine)
+	}
 	srv := &http.Server{Addr: *addr, Handler: apiSrv.Handler()}
 
 	// The pprof listener is separate from the API address so profiling

@@ -29,6 +29,7 @@ func main() {
 		fig      = flag.String("fig", "", "regenerate a figure: 6a, 6b, 7a, 7b")
 		ablation = flag.String("ablation", "", "run an ablation: profit, tiebreak, alpha, refinement, subgradient, cutmask")
 		all      = flag.Bool("all", false, "run every experiment")
+		matrix   = flag.String("matrix", "", "run a cross-cutting matrix: rule-engines")
 		quick    = flag.Bool("quick", false, "scaled-down effort (seconds instead of minutes)")
 		circuits = cliutil.Circuits("", "empty runs all six")
 		ilpLimit = cliutil.ILPTimeout(0)
@@ -59,6 +60,7 @@ func main() {
 		})
 	}
 	wantTable2 := *all || *table == "2"
+	wantEngines := *all || *matrix == "rule-engines"
 	wantFig6 := *all || *fig == "6a" || *fig == "6b" || *fig == "6"
 	wantFig7a := *all || *fig == "7a"
 	wantFig7b := *all || *fig == "7b"
@@ -84,6 +86,12 @@ func main() {
 	if wantTable2 {
 		run("Table 2: routing comparison", func() error {
 			return experiments.Table2(os.Stdout, cfg)
+		})
+	}
+	if wantEngines {
+		run("Rule-engine matrix: sadp vs lele vs tpl", func() error {
+			_, err := experiments.RuleEngineMatrix(os.Stdout, cfg)
+			return err
 		})
 	}
 

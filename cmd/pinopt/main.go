@@ -39,6 +39,7 @@ func main() {
 		ub         = flag.Int("ub", 200, "LR iteration upper bound")
 		alpha      = flag.Float64("alpha", 0.95, "LR subgradient step exponent")
 		workers    = cliutil.Workers()
+		ruleEngine = cliutil.RuleEngine()
 		loadPath   = flag.String("load", "", "load the design from a cpr-design file (per-panel optimization)")
 		baseline   = cliutil.Baseline()
 		rerunMode  = cliutil.RerunMode()
@@ -63,7 +64,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runDesign(ctx, d, *workers, *baseline)
+		runDesign(ctx, d, *workers, *ruleEngine, *baseline)
 		if err := flushTrace(); err != nil {
 			fatal(fmt.Errorf("writing trace: %w", err))
 		}
@@ -125,8 +126,8 @@ func loadOrSynth(circuit, loadPath string) (*design.Design, error) {
 // baseline, that revision is optimized first into a shared panel cache,
 // so the main run reuses every panel the edit between the two revisions
 // cannot have affected; the reuse counts are reported.
-func runDesign(ctx context.Context, d *design.Design, workers int, baseline string) {
-	opts := core.Options{Workers: workers}
+func runDesign(ctx context.Context, d *design.Design, workers int, ruleEngine, baseline string) {
+	opts := core.Options{Workers: workers, RuleEngine: ruleEngine}
 	if baseline != "" {
 		base, err := cliutil.ReadDesign(baseline)
 		if err != nil {

@@ -53,6 +53,14 @@ func Circuits(def, extra string) *string {
 	return flag.String("circuits", def, usage)
 }
 
+// RuleEngine registers the canonical -rule-engine flag (validate with
+// tech.ParseEngine, apply through core.Options.RuleEngine). The empty
+// default keeps whatever engine the design carries (sadp when none).
+func RuleEngine() *string {
+	return flag.String("rule-engine", "",
+		"multi-patterning rule engine: sadp, lele, tpl (empty keeps the design's engine; unknown names fail)")
+}
+
 // ILPTimeout registers the canonical -ilp-timeout flag with a
 // tool-specific default.
 func ILPTimeout(def time.Duration) *time.Duration {

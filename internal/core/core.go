@@ -34,6 +34,7 @@ import (
 	"cpr/internal/pinaccess"
 	"cpr/internal/pipeline"
 	"cpr/internal/router"
+	"cpr/internal/tech"
 	"cpr/internal/telemetry"
 )
 
@@ -199,6 +200,16 @@ type Options struct {
 	//
 	//keypurity:exempt reuse-contract selector for Rerun only; eco-fast results are never design-cached (jobs.Submit refuses the key) and cold runs ignore it
 	RerunMode RerunMode
+	// RuleEngine, when non-empty, overrides the design technology's
+	// multi-patterning rule engine ("sadp", "lele", or "tpl") for this
+	// run. The run operates on a shallow clone of the design carrying
+	// the renamed engine, so the caller's design is untouched; a name
+	// matching the design's effective engine is a no-op (keeping content
+	// addresses stable). Unknown names fail the run closed. The
+	// selection reaches every cache key: the effective engine lands in
+	// the designio encoding, the panel/route input encodings, and
+	// jobs.Fingerprint.
+	RuleEngine string
 }
 
 // workers resolves the effective worker count for a run.
@@ -382,6 +393,10 @@ func runFlow(ctx context.Context, d *design.Design, opts Options, reuse reuseInp
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	d, err := applyRuleEngine(d, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -436,6 +451,35 @@ func runFlow(ctx context.Context, d *design.Design, opts Options, reuse reuseInp
 	}
 	runSpan.SetAttr("routed_nets", res.Router.RoutedNets)
 	return res, nil
+}
+
+// applyRuleEngine applies Options.RuleEngine to a validated design. A
+// selection equal to the design's effective engine returns the design
+// unchanged — in particular, "sadp" on a zero-patterning design stays
+// byte-identical, so content addresses do not shift. A differing
+// selection returns a shallow clone with a cloned technology; the
+// caller's design is never mutated.
+func applyRuleEngine(d *design.Design, opts Options) (*design.Design, error) {
+	if opts.RuleEngine == "" {
+		return d, nil
+	}
+	name, err := tech.ParseEngine(opts.RuleEngine)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := tech.ParseEngine(d.Tech.Patterning.Engine)
+	if err != nil {
+		// Unreachable on a validated design; fail closed regardless.
+		return nil, err
+	}
+	if cur == name {
+		return d, nil
+	}
+	clone := *d
+	t := *d.Tech
+	t.Patterning.Engine = name
+	clone.Tech = &t
+	return &clone, nil
 }
 
 // runRouter wraps the negotiation router in a "route" span and records

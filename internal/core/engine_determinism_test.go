@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cpr/internal/design"
+	"cpr/internal/synth"
+	"cpr/internal/tech"
+)
+
+// engineVariants are the non-default rule engines the determinism suite
+// re-runs under. sadp is the default engine and already covered by every
+// other determinism test.
+var engineVariants = []string{tech.EngineLELE, tech.EngineTPL}
+
+// generateWithEngine builds a seeded synthetic design routed under the
+// given rule engine. The tech is cloned before tagging so generator-
+// shared Technology values stay untouched.
+func generateWithEngine(t *testing.T, spec synth.Spec, engine string) *design.Design {
+	t.Helper()
+	d := mustGenerate(t, spec)
+	tc := *d.Tech
+	tc.Patterning.Engine = engine
+	d.Tech = &tc
+	return d
+}
+
+// TestRunDeterministicAcrossWorkersPerEngine is the worker-count
+// determinism contract under lele and tpl rules: the full CPR flow must
+// produce byte-identical results — design bytes, every route, and
+// metrics — for Workers in {1, 2, 8}. The engines change the margins and
+// (for tpl) add a cross-track term to the negotiation cost function, so
+// sadp determinism does not imply this.
+func TestRunDeterministicAcrossWorkersPerEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-engine determinism sweep skipped in short mode")
+	}
+	spec := synth.Spec{Name: "det-engine", Nets: 160, Width: 150, Height: 60, Seed: 202, BlockageFraction: 0.04}
+	for _, engine := range engineVariants {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			var base []byte
+			for wi, workers := range determinismWorkers {
+				d := generateWithEngine(t, spec, engine)
+				res, err := Run(d, Options{Mode: ModeCPR, Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				dump := dumpRunResult(t, d, res)
+				if wi == 0 {
+					base = dump
+					continue
+				}
+				if !bytes.Equal(dump, base) {
+					t.Errorf("workers=%d: run result differs from workers=%d under %s",
+						workers, determinismWorkers[0], engine)
+				}
+			}
+		})
+	}
+}
+
+// TestRerunByteIdenticalRandomEditsPerEngine is the core-level strict
+// incremental property under lele and tpl: over random ECO edits, Rerun
+// must stay byte-identical to a cold run for every worker count.
+func TestRerunByteIdenticalRandomEditsPerEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-engine ECO sweep skipped in short mode")
+	}
+	spec := synth.Spec{Name: "eco-engine", Nets: 90, Width: 120, Height: 40, Seed: 22, BlockageFraction: 0.04}
+	const edits = 2
+	for _, engine := range engineVariants {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(spec.Seed))
+			d := generateWithEngine(t, spec, engine)
+			prev, err := Run(d, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reusedTotal := 0
+			for step := 0; step < edits; step++ {
+				d = editDesign(t, d, rng)
+				cold, err := Run(d, Options{})
+				if err != nil {
+					t.Fatalf("step %d: cold run: %v", step, err)
+				}
+				coldDump := dumpRunResult(t, d, cold)
+				for _, workers := range determinismWorkers {
+					inc, err := Rerun(prev, d, Options{Workers: workers})
+					if err != nil {
+						t.Fatalf("step %d workers=%d: rerun: %v", step, workers, err)
+					}
+					if inc.Incremental == nil {
+						t.Fatalf("step %d workers=%d: no incremental stats", step, workers)
+					}
+					if got := dumpRunResult(t, d, inc); !bytes.Equal(got, coldDump) {
+						t.Fatalf("step %d workers=%d: rerun output differs from cold run under %s",
+							step, workers, engine)
+					}
+					reusedTotal += inc.Incremental.Reused
+				}
+				prev = cold
+			}
+			if reusedTotal == 0 {
+				t.Error("no panel was ever reused across the edit sequence; incremental path is inert")
+			}
+		})
+	}
+}

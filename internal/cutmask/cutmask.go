@@ -8,12 +8,12 @@
 // optimization literature the paper builds on: its references [10] and
 // [20]).
 //
-// The paper's §4 notes CPR "is extendable to technology-dependent
-// manufacturing constraints, e.g. SAMP with unidirectional routing"; this
-// package provides that extension as a post-routing analysis: it extracts
-// every line-end cut, merges vertically aligned cuts, and counts residual
-// cut conflicts. Routers can be compared on cut mask friendliness the
-// same way the paper compares them on vias and wirelength.
+// The cut extraction, merging, and conflict counting themselves live in
+// the tech package as the SADP rule engine's mask analysis backend
+// (tech.ExtractCuts and friends); this package is the post-routing
+// report over a router.Result. Routers can be compared on cut mask
+// friendliness the same way the paper compares them on vias and
+// wirelength.
 package cutmask
 
 import (
@@ -26,45 +26,42 @@ import (
 	"cpr/internal/tech"
 )
 
-// Params tunes the cut mask rules.
+// Params tunes the cut mask rules. Nil fields inherit the design
+// technology's (resolved) SADP patterning parameters, so an explicit
+// zero is honored rather than silently replaced by the default.
 type Params struct {
 	// CutSpacing is the minimum free distance (grid cells) between two
-	// distinct cuts on the same or adjacent tracks (default 2).
-	CutSpacing int
-	// MergeTolerance is the maximum x offset at which cuts on adjacent
-	// tracks still merge into one cut shape (default 0: exact alignment).
-	MergeTolerance int
+	// distinct cuts on the same or adjacent tracks. Nil inherits the
+	// technology's value (default 2).
+	CutSpacing *int
+	// MergeTolerance is the maximum along-track offset at which cuts on
+	// adjacent tracks still merge into one cut shape. Nil inherits the
+	// technology's value (default 0: exact alignment).
+	MergeTolerance *int
 }
 
-func (p Params) withDefaults() Params {
-	if p.CutSpacing == 0 {
-		p.CutSpacing = 2
+// Int wraps an explicit parameter value for a Params field.
+func Int(v int) *int { return &v }
+
+// resolve fills nil fields from the technology's patterning parameters.
+func (p Params) resolve(t *tech.Technology) (cutSpacing, mergeTol int) {
+	r := t.Patterning.Resolved()
+	cutSpacing, mergeTol = r.CutSpacing, r.MergeTolerance
+	if p.CutSpacing != nil {
+		cutSpacing = *p.CutSpacing
 	}
-	return p
+	if p.MergeTolerance != nil {
+		mergeTol = *p.MergeTolerance
+	}
+	return cutSpacing, mergeTol
 }
 
-// Cut is one line-end cut location: the first free cell beyond a metal
-// strip end on its track.
-type Cut struct {
-	Layer int
-	// Track is the y row for M2 cuts, the x column for M3 cuts.
-	Track int
-	// Pos is the cell position of the cut along the track direction.
-	Pos int
-	// NetID is the net whose line-end needs this cut.
-	NetID int
-}
+// Cut is one line-end cut location (see tech.Cut).
+type Cut = tech.Cut
 
-// Shape is a merged cut mask shape covering one or more aligned cuts.
-type Shape struct {
-	Layer int
-	// Pos is the along-track position shared by the merged cuts.
-	Pos int
-	// TrackLo and TrackHi bound the merged track range.
-	TrackLo, TrackHi int
-	// Cuts counts the line-end cuts this shape serves.
-	Cuts int
-}
+// Shape is a merged cut mask shape covering one or more aligned cuts
+// (see tech.CutShape).
+type Shape = tech.CutShape
 
 // Report is the cut mask analysis of one routing result.
 type Report struct {
@@ -84,19 +81,22 @@ func (r *Report) MaskComplexity() int { return len(r.Shapes) }
 
 // Analyze extracts and merges the cut mask for all routed nets.
 func Analyze(d *design.Design, g *grid.Graph, res *router.Result, params Params) *Report {
-	params = params.withDefaults()
-	cuts := extractCuts(d, g, res)
-	shapes := mergeCuts(cuts, params)
-	rep := &Report{LineEnds: len(cuts), Shapes: shapes}
-	rep.Conflicts = countConflicts(shapes, params)
-	return rep
+	cutSpacing, mergeTol := params.resolve(d.Tech)
+	cuts := tech.ExtractCuts(Segments(g, res), d.Width, d.Height, d.Tech.LineEndExtension)
+	shapes := tech.MergeCuts(cuts, mergeTol)
+	return &Report{
+		LineEnds:  len(cuts),
+		Shapes:    shapes,
+		Conflicts: tech.CountCutConflicts(shapes, cutSpacing),
+	}
 }
 
-// extractCuts walks every routed net's strips and emits a cut at each
-// strip end that is inside the grid (ends flush with the boundary need no
-// cut).
-func extractCuts(d *design.Design, g *grid.Graph, res *router.Result) []Cut {
-	var cuts []Cut
+// Segments decomposes every routed net of a result into raw
+// (pre-extension) per-track metal strips, in deterministic (net, layer,
+// track, position) order — the input form the rule engines' mask
+// analyses consume.
+func Segments(g *grid.Graph, res *router.Result) []tech.Seg {
+	var segs []tech.Seg
 	for netID, nr := range res.Routes {
 		if nr == nil || !nr.Routed {
 			continue
@@ -112,110 +112,18 @@ func extractCuts(d *design.Design, g *grid.Graph, res *router.Result) []Cut {
 				m3[x] = append(m3[x], y)
 			}
 		}
-		ext := d.Tech.LineEndExtension
-		emit := func(layer, track int, spans []geom.Interval, limit int) {
-			for _, s := range spans {
-				if lo := s.Lo - ext - 1; lo >= 0 {
-					cuts = append(cuts, Cut{Layer: layer, Track: track, Pos: lo, NetID: netID})
-				}
-				if hi := s.Hi + ext + 1; hi <= limit-1 {
-					cuts = append(cuts, Cut{Layer: layer, Track: track, Pos: hi, NetID: netID})
-				}
+		for _, track := range sortedIntKeys(m2) {
+			for _, span := range cellRuns(m2[track]) {
+				segs = append(segs, tech.Seg{Net: netID, Layer: tech.M2, Track: track, Lo: span.Lo, Hi: span.Hi})
 			}
 		}
-		for track, cells := range m2 {
-			emit(tech.M2, track, cellRuns(cells), d.Width)
-		}
-		for track, cells := range m3 {
-			emit(tech.M3, track, cellRuns(cells), d.Height)
-		}
-	}
-	sort.Slice(cuts, func(a, b int) bool {
-		ca, cb := cuts[a], cuts[b]
-		if ca.Layer != cb.Layer {
-			return ca.Layer < cb.Layer
-		}
-		if ca.Pos != cb.Pos {
-			return ca.Pos < cb.Pos
-		}
-		if ca.Track != cb.Track {
-			return ca.Track < cb.Track
-		}
-		return ca.NetID < cb.NetID
-	})
-	return cuts
-}
-
-// mergeCuts greedily merges cuts on consecutive tracks whose positions
-// match within MergeTolerance into single shapes.
-func mergeCuts(cuts []Cut, params Params) []Shape {
-	var shapes []Shape
-	// Cuts arrive sorted by (layer, pos, track); scan groups with equal
-	// layer and pos (within tolerance = 0 for exact merging; tolerance>0
-	// approximated by bucketing positions).
-	i := 0
-	for i < len(cuts) {
-		j := i
-		for j < len(cuts) &&
-			cuts[j].Layer == cuts[i].Layer &&
-			cuts[j].Pos-cuts[i].Pos <= params.MergeTolerance {
-			j++
-		}
-		group := append([]Cut(nil), cuts[i:j]...)
-		// Dedupe identical (track) entries (several strips can demand
-		// the same cut), then merge runs of consecutive tracks.
-		sort.Slice(group, func(a, b int) bool { return group[a].Track < group[b].Track })
-		var uniq []Cut
-		for _, c := range group {
-			if len(uniq) == 0 || c.Track != uniq[len(uniq)-1].Track {
-				uniq = append(uniq, c)
-			}
-		}
-		group = uniq
-		k := 0
-		for k < len(group) {
-			m := k
-			for m+1 < len(group) && group[m+1].Track <= group[m].Track+1 {
-				m++
-			}
-			shapes = append(shapes, Shape{
-				Layer:   group[k].Layer,
-				Pos:     group[k].Pos,
-				TrackLo: group[k].Track,
-				TrackHi: group[m].Track,
-				Cuts:    m - k + 1,
-			})
-			k = m + 1
-		}
-		i = j
-	}
-	return shapes
-}
-
-// countConflicts counts shape pairs on overlapping or adjacent track
-// ranges whose positions are closer than CutSpacing.
-func countConflicts(shapes []Shape, params Params) int {
-	conflicts := 0
-	for a := 0; a < len(shapes); a++ {
-		for b := a + 1; b < len(shapes); b++ {
-			sa, sb := shapes[a], shapes[b]
-			if sa.Layer != sb.Layer {
-				continue
-			}
-			dist := sb.Pos - sa.Pos
-			if dist < 0 {
-				dist = -dist
-			}
-			if dist == 0 || dist >= params.CutSpacing {
-				continue
-			}
-			// Track adjacency or overlap.
-			if sb.TrackLo <= sa.TrackHi+1 && sa.TrackLo <= sb.TrackHi+1 {
-				conflicts++
+		for _, track := range sortedIntKeys(m3) {
+			for _, span := range cellRuns(m3[track]) {
+				segs = append(segs, tech.Seg{Net: netID, Layer: tech.M3, Track: track, Lo: span.Lo, Hi: span.Hi})
 			}
 		}
 	}
-	return conflicts
+	return segs
 }
 
 func cellRuns(cells []int) []geom.Interval {
@@ -237,4 +145,14 @@ func cellRuns(cells []int) []geom.Interval {
 		}
 	}
 	return append(out, cur)
+}
+
+// sortedIntKeys returns a map's integer keys in ascending order.
+func sortedIntKeys(m map[int][]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }

@@ -103,13 +103,49 @@ func TestConflictDetection(t *testing.T) {
 		{Layer: tech.M2, Pos: 20, TrackLo: 3, TrackHi: 3, Cuts: 1}, // far away
 		{Layer: tech.M3, Pos: 11, TrackLo: 3, TrackHi: 3, Cuts: 1}, // other layer
 	}
-	if got := countConflicts(shapes, Params{CutSpacing: 2}); got != 1 {
+	if got := tech.CountCutConflicts(shapes, 2); got != 1 {
 		t.Errorf("conflicts = %d, want 1", got)
 	}
 	// Distant tracks never conflict.
 	shapes[1].TrackLo, shapes[1].TrackHi = 8, 8
-	if got := countConflicts(shapes, Params{CutSpacing: 2}); got != 0 {
+	if got := tech.CountCutConflicts(shapes, 2); got != 0 {
 		t.Errorf("conflicts = %d, want 0", got)
+	}
+}
+
+func TestExplicitZeroParamsHonored(t *testing.T) {
+	// Regression: an explicit zero must not be conflated with "unset".
+	// Params once used zero as the unset sentinel, so CutSpacing: 0
+	// silently became the default 2; the pointer form keeps the two
+	// cases distinct.
+	d := design.New("zero", 30, 10, tech.Default())
+	n0 := d.AddNet("a")
+	n1 := d.AddNet("b")
+	d.AddPin("a0", n0, geom.MakeRect(5, 3, 5, 3))
+	d.AddPin("a1", n0, geom.MakeRect(12, 3, 12, 3))
+	d.AddPin("b0", n1, geom.MakeRect(17, 3, 17, 3))
+	d.AddPin("b1", n1, geom.MakeRect(24, 3, 24, 3))
+	g, res := routed(t, d)
+	if res.RoutedNets != 2 {
+		t.Skip("fixture did not route both nets")
+	}
+
+	def := Analyze(d, g, res, Params{})
+	zero := Analyze(d, g, res, Params{CutSpacing: Int(0)})
+	if zero.Conflicts != 0 {
+		t.Errorf("CutSpacing=0 found %d conflicts, want 0 (no pair is closer than 0)", zero.Conflicts)
+	}
+	if got := Analyze(d, g, res, Params{CutSpacing: Int(2)}); got.Conflicts != def.Conflicts {
+		t.Errorf("explicit default CutSpacing=2 gives %d conflicts, unset gives %d",
+			got.Conflicts, def.Conflicts)
+	}
+
+	// MergeTolerance: explicit zero must equal the default (also zero),
+	// and both must differ from a loose tolerance on this fixture only
+	// if merging actually changes — sanity-check the plumbing by value.
+	if got := Analyze(d, g, res, Params{MergeTolerance: Int(0)}); got.MaskComplexity() != def.MaskComplexity() {
+		t.Errorf("explicit MergeTolerance=0 gives %d shapes, unset gives %d",
+			got.MaskComplexity(), def.MaskComplexity())
 	}
 }
 

@@ -8,6 +8,8 @@
 //	design <name> <width> <height>
 //	tech <tracksPerPanel> <baseCost> <viaCost> <forbiddenViaCost> \
 //	     <lineEndExtension> <minLineLen> <lineEndSpacing>
+//	rule-engine <name> <sameMaskSpacing> <colorSpacing> <stitchPenalty> \
+//	     <cutSpacing> <mergeTolerance>
 //	net <name>
 //	pin <name> <netIndex> <x0> <y0> <x1> <y1>
 //	blockage <layer> <x0> <y0> <x1> <y1>
@@ -15,6 +17,11 @@
 // Records may appear in any order after the header, except that a pin's
 // net must already be declared. Fields are space-separated; names must
 // not contain whitespace.
+//
+// The rule-engine record is emitted only for a non-zero patterning
+// selection, so designs predating the rule-engine layer keep their
+// exact bytes — and therefore their content addresses. Unknown engine
+// names fail closed on read: there is no silent fallback to SADP.
 package designio
 
 import (
@@ -36,6 +43,11 @@ const version = 1
 
 // Write serializes a design. The output is deterministic: nets in ID
 // order, then pins in ID order, then blockages in declaration order.
+// The encoding is the design's content address (see Hash), so every
+// routing-relevant technology parameter — including the rule-engine
+// selection — must land in these bytes.
+//
+//keypurity:encoder design
 func Write(w io.Writer, d *design.Design) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "%s %d\n", magic, version)
@@ -44,6 +56,9 @@ func Write(w io.Writer, d *design.Design) error {
 	fmt.Fprintf(bw, "tech %d %d %d %d %d %d %d\n",
 		t.TracksPerPanel, t.BaseCost, t.ViaCost, t.ForbiddenViaCost,
 		t.LineEndExtension, t.MinLineLen, t.LineEndSpacing)
+	if t.Patterning != (tech.Patterning{}) {
+		fmt.Fprintf(bw, "rule-engine %s\n", t.Patterning.Spec())
+	}
 	for i := range d.Nets {
 		fmt.Fprintf(bw, "net %s\n", sanitize(d.Nets[i].Name))
 	}
@@ -160,6 +175,12 @@ func Read(r io.Reader) (*design.Design, error) {
 			t.LineEndExtension = vals[4]
 			t.MinLineLen = vals[5]
 			t.LineEndSpacing = vals[6]
+		case "rule-engine":
+			p, perr := tech.ParsePatterning(fields[1:])
+			if perr != nil {
+				return nil, errf("%v", perr)
+			}
+			t.Patterning = p
 		case "net":
 			if d == nil {
 				return nil, errf("net before design record")

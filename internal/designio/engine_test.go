@@ -1,0 +1,106 @@
+package designio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cpr/internal/tech"
+)
+
+// TestEngineRoundTrip covers the rule-engine record for every engine:
+// the patterning selection survives a Write/Read cycle exactly and the
+// serialization is byte-identical across round trips (the property the
+// content-addressed design key rests on).
+func TestEngineRoundTrip(t *testing.T) {
+	cases := []tech.Patterning{
+		{Engine: tech.EngineSADP},
+		{Engine: tech.EngineSADP, CutSpacing: 3, MergeTolerance: 1},
+		{Engine: tech.EngineLELE},
+		{Engine: tech.EngineLELE, SameMaskSpacing: 4},
+		{Engine: tech.EngineTPL},
+		{Engine: tech.EngineTPL, ColorSpacing: 3, StitchPenalty: 2},
+	}
+	for _, p := range cases {
+		d := sample(t)
+		tc := *d.Tech
+		tc.Patterning = p
+		d.Tech = &tc
+
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			t.Fatalf("%v: Write: %v", p, err)
+		}
+		first := buf.String()
+		if !strings.Contains(first, "rule-engine "+p.Spec()+"\n") {
+			t.Fatalf("%v: serialized design missing rule-engine record:\n%s", p, first)
+		}
+		got, err := Read(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("%v: Read: %v", p, err)
+		}
+		if got.Tech.Patterning != p {
+			t.Fatalf("patterning mutated across round trip: wrote %+v, read %+v",
+				p, got.Tech.Patterning)
+		}
+		var again bytes.Buffer
+		if err := Write(&again, got); err != nil {
+			t.Fatalf("%v: re-Write: %v", p, err)
+		}
+		if again.String() != first {
+			t.Fatalf("%v: round trip not byte-identical:\n--- wrote\n%s--- rewrote\n%s",
+				p, first, again.String())
+		}
+	}
+}
+
+// TestZeroPatterningIsByteInvisible pins the compatibility contract: a
+// design with the zero Patterning serializes without any rule-engine
+// record, so pre-engine designs keep their bytes (and content
+// addresses) exactly.
+func TestZeroPatterningIsByteInvisible(t *testing.T) {
+	d := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "rule-engine") {
+		t.Fatalf("zero patterning emitted a rule-engine record:\n%s", buf.String())
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tech.Patterning != (tech.Patterning{}) {
+		t.Fatalf("reading an engine-less design produced %+v, want zero", got.Tech.Patterning)
+	}
+}
+
+// TestUnknownEngineFailsClosed: a rule-engine record naming an engine
+// this build does not implement must refuse to load — routing such a
+// design under silently-substituted SADP rules would produce a result
+// that looks valid but violates the design's actual constraints.
+func TestUnknownEngineFailsClosed(t *testing.T) {
+	header := "cpr-design 1\ndesign demo 20 10\n"
+	cases := []struct {
+		name   string
+		record string
+	}{
+		{"unknown engine", "rule-engine quad 0 0 0 0 0\n"},
+		{"case-sensitive", "rule-engine SADP 0 0 0 0 0\n"},
+		{"wrong arity", "rule-engine sadp 0 0\n"},
+		{"malformed int", "rule-engine sadp 0 0 x 0 0\n"},
+		{"negative param", "rule-engine lele -1 0 0 0 0\n"},
+	}
+	for _, c := range cases {
+		text := header + c.record + "net n0\npin p0 0 2 2 2 2\n"
+		_, err := Read(strings.NewReader(text))
+		if err == nil {
+			t.Errorf("%s: record %q loaded without error", c.name, strings.TrimSpace(c.record))
+			continue
+		}
+		if c.name == "unknown engine" && !strings.Contains(err.Error(), "quad") {
+			t.Errorf("%s: error %q does not name the offending engine", c.name, err)
+		}
+	}
+}

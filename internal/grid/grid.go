@@ -24,6 +24,10 @@ type Graph struct {
 	W, H int
 	Tech *tech.Technology
 
+	// rules is the technology's rule engine, resolved once at New so
+	// per-edge cost lookups never re-dispatch on the engine name.
+	rules tech.RuleEngine
+
 	planeSize int
 
 	// blocked marks nodes covered by design blockages.
@@ -54,6 +58,7 @@ func New(d *design.Design) *Graph {
 		W:         d.Width,
 		H:         d.Height,
 		Tech:      d.Tech,
+		rules:     tech.RulesFor(d.Tech),
 		planeSize: d.Width * d.Height,
 	}
 	n := g.planeSize * tech.NumLayers
@@ -249,14 +254,14 @@ func (g *Graph) ResetCongestion() {
 	}
 }
 
-// ViaCost returns the technology cost of the via edge between layers z
-// and z+1 at (x, y), applying the forbidden grid cost where flagged.
+// ViaCost returns the rule engine's cost of the via edge between layers
+// z and z+1 at (x, y), applying the forbidden grid cost where flagged.
 func (g *Graph) ViaCost(x, y, zLow int) int {
-	if g.forbiddenVia[zLow][y*g.W+x] {
-		return g.Tech.ForbiddenViaCost
-	}
-	return g.Tech.ViaCost
+	return g.rules.ViaCost(g.forbiddenVia[zLow][y*g.W+x])
 }
+
+// Rules returns the technology rule engine the grid was built with.
+func (g *Graph) Rules() tech.RuleEngine { return g.rules }
 
 // ForbiddenVia reports whether the via at (x, y) between zLow and zLow+1
 // carries the forbidden cost.

@@ -66,6 +66,12 @@ type Options struct {
 	ILPMaxNodes int `json:"ilp_max_nodes,omitempty"`
 	// MaxNegotiationIters overrides the router's rip-up bound.
 	MaxNegotiationIters int `json:"max_negotiation_iters,omitempty"`
+	// RuleEngine overrides the multi-patterning rule engine: "sadp",
+	// "lele", or "tpl". Empty keeps the engine the design carries (sadp
+	// when it carries none); unknown names are a 400. The engine is part
+	// of the job's content address, so runs of the same design under
+	// different engines never share cached results.
+	RuleEngine string `json:"rule_engine,omitempty"`
 	// RerunMode selects the incremental-rerun contract for submissions
 	// with a base_job: "strict" (default; byte-identical to a cold run)
 	// or "eco-fast" (warm-starts dirtied nets from the base's routes;

@@ -281,12 +281,15 @@ func (j *Job) Wait(ctx context.Context) error {
 // same Options mapping a run uses (Options.SolverConfig), so the design
 // key can never drift from the fields the pipeline actually consumes;
 // non-addressable inputs (a custom Profit, an LR Stop hook) surface as
-// sentinels, and Submit refuses to cache under them.
+// sentinels, and Submit refuses to cache under them. The rule-engine
+// override is encoded directly, so two submissions of one design under
+// different engines can never share a key (a design-borne engine is
+// already part of the design hash via its designio record).
 //
 //keypurity:encoder design
 func Fingerprint(o core.Options) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "v2 mode=%s", o.Mode)
+	fmt.Fprintf(&b, "v3 mode=%s engine=%s", o.Mode, o.RuleEngine)
 	b.WriteString(" " + o.SolverConfig().Fingerprint())
 	b.WriteString(" " + pipeline.RouterFingerprint(o.Router))
 	s := o.Sequential

@@ -30,6 +30,7 @@ import (
 	"cpr/internal/assign"
 	"cpr/internal/design"
 	"cpr/internal/pinaccess"
+	"cpr/internal/tech"
 )
 
 // IntervalSet is the stage-1 artifact: the deduplicated candidate pin
@@ -217,6 +218,11 @@ func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) 
 // Anything not encoded here — other panels' pins that share no net with
 // this panel, blockages outside the panel's tracks, router
 // configuration — provably cannot change the panel's artifacts.
+//
+// A non-zero rule-engine selection is encoded as an extra record; the
+// zero value emits nothing, keeping every pre-engine panel hash valid.
+//
+//keypurity:encoder stage
 func WritePanelInputs(w io.Writer, d *design.Design, idx *design.TrackIndex, panel int) error {
 	t := d.Tech
 	if _, err := fmt.Fprintf(w, "panel-inputs v1\ngrid %d %d\ntech %d %d %d %d %d %d %d\n",
@@ -224,6 +230,11 @@ func WritePanelInputs(w io.Writer, d *design.Design, idx *design.TrackIndex, pan
 		t.TracksPerPanel, t.BaseCost, t.ViaCost, t.ForbiddenViaCost,
 		t.LineEndExtension, t.MinLineLen, t.LineEndSpacing); err != nil {
 		return err
+	}
+	if t.Patterning != (tech.Patterning{}) {
+		if _, err := fmt.Fprintf(w, "rule-engine %s\n", t.Patterning.Spec()); err != nil {
+			return err
+		}
 	}
 	lo, hi := t.PanelTracks(panel)
 	if hi >= d.Height {

@@ -9,6 +9,7 @@ import (
 	"cpr/internal/design"
 	"cpr/internal/geom"
 	"cpr/internal/router"
+	"cpr/internal/tech"
 )
 
 // RouteArtifact is the cached routing product of one region: everything a
@@ -77,6 +78,11 @@ func RouterFingerprint(cfg router.Config) string {
 // Anything not encoded here — other regions' nets and seeds, blockages
 // out of reach, net names, worker counts — provably cannot change the
 // region's route bytes.
+//
+// A non-zero rule-engine selection is encoded as an extra record; the
+// zero value emits nothing, keeping every pre-engine route key valid.
+//
+//keypurity:encoder stage
 func WriteRegionInputs(w io.Writer, d *design.Design, rt *router.Router, rg *router.Region) error {
 	t := d.Tech
 	if _, err := fmt.Fprintf(w, "region-inputs v1\ngrid %d %d\ntech %d %d %d %d %d %d %d\n",
@@ -84,6 +90,11 @@ func WriteRegionInputs(w io.Writer, d *design.Design, rt *router.Router, rg *rou
 		t.TracksPerPanel, t.BaseCost, t.ViaCost, t.ForbiddenViaCost,
 		t.LineEndExtension, t.MinLineLen, t.LineEndSpacing); err != nil {
 		return err
+	}
+	if t.Patterning != (tech.Patterning{}) {
+		if _, err := fmt.Fprintf(w, "rule-engine %s\n", t.Patterning.Spec()); err != nil {
+			return err
+		}
 	}
 	for i, netID := range rg.Nets {
 		rc := rg.Rects[i]

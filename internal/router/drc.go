@@ -104,20 +104,19 @@ func extendSegment(span geom.Interval, ext, minLen, limit int) geom.Interval {
 	return span
 }
 
-// enforceLineEndRules extends every routed member net's line-ends and
-// checks line-end spacing between diff-net strips on the same track plus
-// overlap with blockages. Violating nets are first ripped up and rerouted
-// with other nets' extended clearance zones forbidden (the paper's
-// "line-end extensions and rip-up and reroute to accommodate the
-// manufacturing constraints"); nets that still violate are unrouted.
-// Region-local: only the shard's member nets can produce strips inside
-// the region's influence rectangles, so no cross-region strip can appear
-// on a shared track. Returns the number of nets unrouted.
+// enforceLineEndRules extends every routed member net's line-ends per
+// the technology's rule engine and checks the engine's track-level tip
+// rules between diff-net strips on the same track plus overlap with
+// blockages. Violating nets are first ripped up and rerouted with other
+// nets' extended clearance zones forbidden (the paper's "line-end
+// extensions and rip-up and reroute to accommodate the manufacturing
+// constraints"); nets that still violate are unrouted. Region-local:
+// only the shard's member nets can produce strips inside the region's
+// influence rectangles, so no cross-region strip can appear on a shared
+// track. Returns the number of nets unrouted.
 func (s *shard) enforceLineEndRules() int {
 	r := s.Router
-	ext := r.g.Tech.LineEndExtension
-	minLen := r.g.Tech.MinLineLen
-	spacing := r.g.Tech.LineEndSpacing
+	rules := r.rules()
 
 	limitFor := func(layer int) int {
 		if layer == tech.M2 {
@@ -136,7 +135,7 @@ func (s *shard) enforceLineEndRules() int {
 				continue
 			}
 			for _, seg := range r.segmentsOf(nr) {
-				seg.span = extendSegment(seg.span, ext, minLen, limitFor(seg.layer))
+				seg.span.Lo, seg.span.Hi = rules.ExtendSpan(seg.span.Lo, seg.span.Hi, limitFor(seg.layer))
 				k := trackKey{seg.layer, seg.track}
 				byTrack[k] = append(byTrack[k], seg)
 			}
@@ -154,21 +153,22 @@ func (s *shard) enforceLineEndRules() int {
 		return byTrack
 	}
 
-	// violationsPerNet counts line-end spacing and blockage violations.
+	// violationsPerNet counts the engine's track rule violations and
+	// blockage violations.
 	violationsPerNet := func(byTrack map[trackKey][]metalSegment) map[int]int {
 		vio := make(map[int]int)
 		for k, segs := range byTrack {
-			for i := 1; i < len(segs); i++ {
-				a, b := segs[i-1], segs[i]
-				if a.netID == b.netID {
-					continue
-				}
-				gap := b.span.Lo - a.span.Hi - 1
-				if gap < spacing {
-					vio[a.netID]++
-					vio[b.netID]++
+			strips := make([]tech.Seg, len(segs))
+			for i, seg := range segs {
+				strips[i] = tech.Seg{
+					Net:   seg.netID,
+					Layer: k.layer,
+					Track: k.track,
+					Lo:    seg.span.Lo,
+					Hi:    seg.span.Hi,
 				}
 			}
+			rules.TrackViolations(strips, func(net int) { vio[net]++ })
 			// Blockage overlap on the same layer/track.
 			for _, seg := range segs {
 				if r.segmentHitsBlockage(k.layer, k.track, seg.span) {
@@ -181,10 +181,11 @@ func (s *shard) enforceLineEndRules() int {
 
 	// buildAvoid converts the current extended strips into a forbidden
 	// node set with the extra clearance a rerouted net's own extension
-	// will need: other strips are already extended by ext, so adding
-	// (ext + spacing) keeps the final gap >= spacing.
+	// will need (the engine's avoid margin: other strips are already
+	// extended, so the margin keeps the final gap legal for a rerouted
+	// net whose mask assignment is not yet known).
 	buildAvoid := func(byTrack map[trackKey][]metalSegment) map[grid.NodeID]bool {
-		margin := ext + spacing
+		margin := rules.AvoidMargin()
 		avoid := make(map[grid.NodeID]bool)
 		for k, segs := range byTrack {
 			limit := limitFor(k.layer)

@@ -1,0 +1,133 @@
+package router_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cpr/internal/core"
+	"cpr/internal/design"
+	"cpr/internal/grid"
+	"cpr/internal/tech"
+	"cpr/internal/verify"
+)
+
+// withEngine rebinds a design to a clone of its technology carrying the
+// given rule engine. clusteredDesign hands every design a fresh
+// tech.Default(), but cloning keeps this helper safe if that changes.
+func withEngine(d *design.Design, engine string) *design.Design {
+	t := *d.Tech
+	t.Patterning.Engine = engine
+	d.Tech = &t
+	return d
+}
+
+// TestIncrementalStrictByteIdenticalPerEngine extends the strict-mode
+// incremental contract to the non-default rule engines: under lele and
+// tpl rules, a strict rerun over random ECO edits must still be
+// byte-identical — routes, metrics, and rendered SVG — to a cold run of
+// the edited design, for Workers in {1, 2, 8}, while actually splicing.
+// The engines move the clearance margins, the DRC rules, and (for tpl)
+// the negotiation cost arithmetic, so none of this follows from the sadp
+// strict test.
+func TestIncrementalStrictByteIdenticalPerEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-engine incremental sweep skipped in short mode")
+	}
+	workerCounts := []int{1, 2, 8}
+	const edits = 2
+	for _, engine := range []string{tech.EngineLELE, tech.EngineTPL} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			d := withEngine(clusteredDesign(t, "strict-"+engine, 2, 12, 5151, true), engine)
+			rng := rand.New(rand.NewSource(5151))
+			prev, err := core.Run(d, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			splicedTotal := 0
+			for step := 0; step < edits; step++ {
+				d = ecoEdit(t, d, rng)
+				cold, err := core.Run(d, core.Options{})
+				if err != nil {
+					t.Fatalf("step %d: cold run: %v", step, err)
+				}
+				coldDump := dumpFullRun(t, d, cold)
+				for _, workers := range workerCounts {
+					inc, err := core.Rerun(prev, d, core.Options{Workers: workers})
+					if err != nil {
+						t.Fatalf("step %d workers=%d: rerun: %v", step, workers, err)
+					}
+					if inc.Incremental == nil {
+						t.Fatalf("step %d workers=%d: no incremental stats", step, workers)
+					}
+					if got := dumpFullRun(t, d, inc); !bytes.Equal(got, coldDump) {
+						t.Fatalf("step %d workers=%d: strict rerun differs from cold run: %s",
+							step, workers, firstDiff(coldDump, got))
+					}
+					splicedTotal += inc.Incremental.NetsSpliced
+				}
+				prev = cold
+			}
+			if splicedTotal == 0 {
+				t.Error("no net was ever spliced across the edit sequence; incremental routing is inert")
+			}
+		})
+	}
+}
+
+// TestIncrementalEcoFastVerifiedEquivalentPerEngine extends the eco-fast
+// contract to lele and tpl: the warm-started rerun must pass the
+// independent verifier — which under these engines includes the
+// engine-specific track rules and mask analysis — and match the cold
+// run's objective, while actually warm-starting nets.
+func TestIncrementalEcoFastVerifiedEquivalentPerEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-engine eco-fast sweep skipped in short mode")
+	}
+	for _, engine := range []string{tech.EngineLELE, tech.EngineTPL} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			// Lighter clusters than the sadp eco-fast test: lele/tpl
+			// clearances make a 12-net cluster congested enough that
+			// warm-start repair can legitimately strand a net, which is
+			// outside eco-fast's objective-equality envelope.
+			d := withEngine(clusteredDesign(t, "ecofast-"+engine, 2, 8, 6262, true), engine)
+			rng := rand.New(rand.NewSource(6262))
+			prev, err := core.Run(d, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			warmTotal := 0
+			for step := 0; step < 2; step++ {
+				d = ecoEdit(t, d, rng)
+				cold, err := core.Run(d, core.Options{})
+				if err != nil {
+					t.Fatalf("step %d: cold run: %v", step, err)
+				}
+				for _, workers := range []int{1, 8} {
+					inc, err := core.Rerun(prev, d, core.Options{Workers: workers, RerunMode: core.RerunEcoFast})
+					if err != nil {
+						t.Fatalf("step %d workers=%d: eco-fast rerun: %v", step, workers, err)
+					}
+					if rep := verify.Check(d, grid.New(d), inc.Router); !rep.Ok() {
+						t.Fatalf("step %d workers=%d: eco-fast result fails %s verification: %v",
+							step, workers, engine, rep.Errors)
+					}
+					if err := verify.ObjectiveEqual(d, cold.Router, inc.Router); err != nil {
+						t.Fatalf("step %d workers=%d: eco-fast objective differs from cold: %v",
+							step, workers, err)
+					}
+					if inc.Incremental == nil {
+						t.Fatalf("step %d workers=%d: no incremental stats", step, workers)
+					}
+					warmTotal += inc.Incremental.NetsWarm + inc.Incremental.NetsSpliced
+				}
+				prev = cold
+			}
+			if warmTotal == 0 {
+				t.Error("no net was ever warm-started or spliced; eco-fast path is inert")
+			}
+		})
+	}
+}

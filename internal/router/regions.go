@@ -58,15 +58,14 @@ func (r *Router) maxSearchMargin() int {
 
 // influenceMargin is the interaction radius of one net: the widest search
 // window any stage can open around its bounding box, plus everything that
-// can reach beyond a route inside that window — line-end clearance cells,
-// SADP extension and minimum-length growth, the spacing rule, and the DRC
-// avoid-zone margin. Two nets whose bounding boxes (including seeded
-// cells) are separated by more than twice this margin can never affect
-// each other's routing in any stage.
+// can reach beyond a route inside that window — line-end clearance cells
+// plus the rule engine's reach (extension, minimum-length growth, tip
+// spacing, the DRC avoid-zone margin, and any cross-track color
+// coupling). Two nets whose bounding boxes (including seeded cells) are
+// separated by more than twice this margin can never affect each other's
+// routing in any stage.
 func (r *Router) influenceMargin() int {
-	t := r.g.Tech
-	return r.maxSearchMargin() + r.clearanceMargin() +
-		t.LineEndExtension + t.MinLineLen + t.LineEndSpacing + 2
+	return r.maxSearchMargin() + r.clearanceMargin() + r.rules().RuleReach()
 }
 
 // influenceRect returns a net's influence rectangle: the union of its pin

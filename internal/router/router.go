@@ -859,12 +859,20 @@ func (r *Router) window(netID, margin int) searchWindow {
 	return searchWindow{x0: box.X0, y0: box.Y0, w: box.Width(), h: box.Height()}
 }
 
+// rules resolves the technology's multi-patterning rule engine. It is
+// resolved per call rather than cached on the Router so the engine
+// parameter reads stay inside every routing stage's static call graph
+// (the keypurity analyzer proves cache-key coverage from those reads).
+func (r *Router) rules() tech.RuleEngine {
+	return tech.RulesFor(r.g.Tech)
+}
+
 // clearanceMargin is the number of cells beyond each strip end treated as
-// occupied: the line-end extension plus half the spacing rule (rounded
-// up), so two nets whose clearance cells do not collide always satisfy
-// gap >= 2*ext + spacing after extension.
+// occupied — the rule engine's margin such that two nets whose clearance
+// cells do not collide always satisfy the engine's tip spacing after
+// extension.
 func (r *Router) clearanceMargin() int {
-	return r.g.Tech.LineEndExtension + (r.g.Tech.LineEndSpacing+1)/2
+	return r.rules().ClearanceMargin()
 }
 
 // computeVirtual fills nr.Virtual with the clearance cells at every strip

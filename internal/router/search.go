@@ -102,7 +102,17 @@ func (s *shard) search(netID int, sources []grid.NodeID, targets map[grid.NodeID
 	// another net's strip will overlap it with its own clearance cells,
 	// and pricing the neighbourhood is what lets negotiation discover
 	// that before the overlap materializes.
-	margin := r.clearanceMargin()
+	//
+	// Engines with a cross-track conflict radius (TPL color spacing)
+	// additionally price occupancy on neighbouring tracks — the stitch
+	// cost term — so dense conflict neighbourhoods are avoided before
+	// they materialize in the conflict graph. The term is skipped
+	// entirely at radius zero, keeping the float arithmetic of the
+	// radius-free engines untouched.
+	rules := r.rules()
+	margin := rules.ClearanceMargin()
+	cRadius := rules.ConflictRadius()
+	cWeight := rules.ConflictWeight()
 	nodeCost := func(id grid.NodeID, x, y, z int) float64 {
 		c := r.g.History(id)
 		if presFac <= 0 {
@@ -125,6 +135,18 @@ func (s *shard) search(netID int, sources []grid.NodeID, targets map[grid.NodeID
 					}
 				}
 			}
+			for m := 1; m <= cRadius; m++ {
+				if y-m >= 0 {
+					if occ := r.g.Occupancy(r.g.ID(x, y-m, tech.M2)); occ > 0 {
+						c += cWeight * presFac * float64(occ)
+					}
+				}
+				if y+m < r.g.H {
+					if occ := r.g.Occupancy(r.g.ID(x, y+m, tech.M2)); occ > 0 {
+						c += cWeight * presFac * float64(occ)
+					}
+				}
+			}
 		case tech.M3:
 			for m := 1; m <= margin; m++ {
 				if y-m >= 0 {
@@ -135,6 +157,18 @@ func (s *shard) search(netID int, sources []grid.NodeID, targets map[grid.NodeID
 				if y+m < r.g.H {
 					if occ := r.g.Occupancy(r.g.ID(x, y+m, tech.M3)); occ > 0 {
 						c += 0.5 * presFac * float64(occ)
+					}
+				}
+			}
+			for m := 1; m <= cRadius; m++ {
+				if x-m >= 0 {
+					if occ := r.g.Occupancy(r.g.ID(x-m, y, tech.M3)); occ > 0 {
+						c += cWeight * presFac * float64(occ)
+					}
+				}
+				if x+m < r.g.W {
+					if occ := r.g.Occupancy(r.g.ID(x+m, y, tech.M3)); occ > 0 {
+						c += cWeight * presFac * float64(occ)
 					}
 				}
 			}
@@ -172,7 +206,7 @@ func (s *shard) search(netID int, sources []grid.NodeID, targets map[grid.NodeID
 			push(nid, nli, nd, int32(li))
 		}
 
-		base := r.g.Tech.BaseCost
+		base := rules.WireCost()
 		switch z {
 		case tech.M1:
 			relax(x, y, tech.M2, r.g.ViaCost(x, y, 0))

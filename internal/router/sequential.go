@@ -65,9 +65,10 @@ func (r *Router) RunSequential(cfg SequentialConfig) *Result {
 	s.avoid = make(map[grid.NodeID]bool)
 
 	// One-sided clearance: committed strips block later metal within the
-	// full 2*ext + spacing distance (later nets' own extensions are not
-	// yet known, so the whole clearance burden falls on the avoid zone).
-	clearance := 2*r.g.Tech.LineEndExtension + r.g.Tech.LineEndSpacing
+	// rule engine's full sequential distance (later nets' own extensions
+	// are not yet known, so the whole clearance burden falls on the avoid
+	// zone).
+	clearance := r.rules().SequentialClearance()
 
 	// avoid accumulates committed nets' line-end clearance zones with
 	// reference counts, so a rip-up removes exactly its own contribution

@@ -37,6 +37,7 @@ import (
 	"cpr/internal/httpapi"
 	"cpr/internal/jobs"
 	"cpr/internal/synth"
+	"cpr/internal/tech"
 	"cpr/internal/telemetry"
 )
 
@@ -49,6 +50,11 @@ type Server struct {
 	mgr   *jobs.Manager
 	exch  *exchange.Service
 	peers []string
+	// defaultRuleEngine is applied to submissions that do not name a
+	// rule engine themselves. It participates in job fingerprints exactly
+	// like a per-request engine, so two daemons with different defaults
+	// never alias cache entries.
+	defaultRuleEngine string
 }
 
 // New wires a server to its manager and registers the manager's stats
@@ -70,6 +76,13 @@ func New(mgr *jobs.Manager) *Server {
 func (s *Server) SetExchange(svc *exchange.Service, peers []string) {
 	s.exch = svc
 	s.peers = peers
+}
+
+// SetDefaultRuleEngine sets the multi-patterning engine used when a
+// submission leaves Options.RuleEngine empty. The name must already be
+// validated (tech.ParseEngine); per-request engines always win.
+func (s *Server) SetDefaultRuleEngine(name string) {
+	s.defaultRuleEngine = name
 }
 
 // The expvar registry is process-global and Publish panics on duplicate
@@ -126,7 +139,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	opts, err := buildOptions(req.Options)
+	opts, err := buildOptions(req.Options, s.defaultRuleEngine)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -316,9 +329,13 @@ func buildDesign(req *httpapi.SubmitRequest) (*design.Design, error) {
 	}
 }
 
-// buildOptions maps wire options onto core.Options.
-func buildOptions(wo *httpapi.Options) (core.Options, error) {
+// buildOptions maps wire options onto core.Options. defaultEngine fills
+// Options.RuleEngine when the request leaves it empty; it must be set
+// before fingerprinting (here, not in the job runner) so the content
+// address always reflects the engine the job will actually run under.
+func buildOptions(wo *httpapi.Options, defaultEngine string) (core.Options, error) {
 	var opts core.Options
+	opts.RuleEngine = defaultEngine
 	if wo == nil {
 		return opts, nil
 	}
@@ -346,6 +363,13 @@ func buildOptions(wo *httpapi.Options) (core.Options, error) {
 	opts.ILP.TimeLimit = time.Duration(wo.ILPTimeLimitMS) * time.Millisecond
 	opts.ILP.MaxNodes = wo.ILPMaxNodes
 	opts.Router.MaxNegotiationIters = wo.MaxNegotiationIters
+	if wo.RuleEngine != "" {
+		engine, err := tech.ParseEngine(wo.RuleEngine)
+		if err != nil {
+			return opts, err
+		}
+		opts.RuleEngine = engine
+	}
 	mode, err := core.ParseRerunMode(wo.RerunMode)
 	if err != nil {
 		return opts, err

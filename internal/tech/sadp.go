@@ -1,0 +1,220 @@
+package tech
+
+import "sort"
+
+// sadpRules is the default engine: self-aligned double patterning. The
+// track-level rules are exactly the pre-engine router's behavior — the
+// engine refactor is byte-invisible under sadp — and the mask analysis
+// is the cut extraction/merge/conflict pipeline the cutmask package
+// exposes as a post-routing report.
+type sadpRules struct {
+	lineEndRules
+	cutSpacing int
+	mergeTol   int
+}
+
+func (r sadpRules) Name() string { return EngineSADP }
+func (r sadpRules) Colors() int  { return 1 }
+
+// ClearanceMargin is the line-end extension plus half the spacing rule
+// (rounded up): two nets whose clearance cells do not collide always
+// satisfy gap >= 2*ext + spacing after extension.
+func (r sadpRules) ClearanceMargin() int { return r.ext + (r.spacing+1)/2 }
+
+// AvoidMargin: other strips are already extended by ext, so ext +
+// spacing keeps the final gap >= spacing for a rerouted net.
+func (r sadpRules) AvoidMargin() int { return r.ext + r.spacing }
+
+// SequentialClearance is the one-sided burden a committed strip imposes:
+// the later net's extension is not yet known, so both extensions plus
+// the spacing fall on the avoid zone.
+func (r sadpRules) SequentialClearance() int { return 2*r.ext + r.spacing }
+
+// RuleReach bounds how far the extension, minimum-length growth, and
+// spacing rule can couple strips beyond their raw geometry.
+func (r sadpRules) RuleReach() int { return r.ext + r.minLen + r.spacing + 2 }
+
+func (r sadpRules) ConflictRadius() int     { return 0 }
+func (r sadpRules) ConflictWeight() float64 { return 0 }
+
+// TrackViolations: adjacent diff-net extended strips must keep the
+// line-end spacing; both participants are charged.
+func (r sadpRules) TrackViolations(strips []Seg, vio func(net int)) {
+	for i := 1; i < len(strips); i++ {
+		a, b := strips[i-1], strips[i]
+		if a.Net == b.Net {
+			continue
+		}
+		if b.Lo-a.Hi-1 < r.spacing {
+			vio(a.Net)
+			vio(b.Net)
+		}
+	}
+}
+
+// CheckTrack reports the spacing violations, then the minimum-length
+// violations, of one track — the exact message bytes the verifier has
+// always produced.
+func (r sadpRules) CheckTrack(layer, track int, strips []Seg, netName func(int) string,
+	errf func(format string, args ...interface{})) {
+
+	for i := 1; i < len(strips); i++ {
+		a, b := strips[i-1], strips[i]
+		if a.Net == b.Net {
+			continue
+		}
+		gap := b.Lo - a.Hi - 1
+		if gap < r.spacing {
+			errf("line-end spacing violation on layer %d track %d between nets %s and %s (gap %d < %d)",
+				layer, track, netName(a.Net), netName(b.Net), gap, r.spacing)
+		}
+	}
+	for _, s := range strips {
+		if s.Hi-s.Lo+1 < r.minLen {
+			errf("minimum line length violation on layer %d track %d net %s (len %d < %d)",
+				layer, track, netName(s.Net), s.Hi-s.Lo+1, r.minLen)
+		}
+	}
+}
+
+// AnalyzeMask runs the cut mask analysis: every line-end inside the grid
+// needs a cut, aligned cuts merge, and residual close cut pairs count as
+// conflicts. Cut conflicts are a mask complexity metric, not a legality
+// error, so Errors stays empty.
+func (r sadpRules) AnalyzeMask(segs []Seg, w, h int) *MaskReport {
+	cuts := ExtractCuts(segs, w, h, r.ext)
+	shapes := MergeCuts(cuts, r.mergeTol)
+	return &MaskReport{
+		Engine:    EngineSADP,
+		Colors:    1,
+		Segments:  len(segs),
+		Conflicts: CountCutConflicts(shapes, r.cutSpacing),
+		Shapes:    len(shapes),
+		CutShapes: shapes,
+	}
+}
+
+// Cut is one line-end cut location: the first free cell beyond a metal
+// strip end on its track.
+type Cut struct {
+	Layer int
+	// Track is the y row for M2 cuts, the x column for M3 cuts.
+	Track int
+	// Pos is the cell position of the cut along the track direction.
+	Pos int
+	// Net is the net whose line-end needs this cut.
+	Net int
+}
+
+// CutShape is a merged cut mask shape covering one or more aligned cuts.
+type CutShape struct {
+	Layer int
+	// Pos is the along-track position shared by the merged cuts.
+	Pos int
+	// TrackLo and TrackHi bound the merged track range.
+	TrackLo, TrackHi int
+	// Cuts counts the line-end cuts this shape serves.
+	Cuts int
+}
+
+// ExtractCuts emits a cut at each raw strip end whose extended end stays
+// inside the grid (ends flush with the boundary need no cut), sorted by
+// (layer, pos, track, net).
+func ExtractCuts(segs []Seg, w, h, ext int) []Cut {
+	var cuts []Cut
+	for _, s := range segs {
+		limit := w
+		if s.Layer == M3 {
+			limit = h
+		}
+		if lo := s.Lo - ext - 1; lo >= 0 {
+			cuts = append(cuts, Cut{Layer: s.Layer, Track: s.Track, Pos: lo, Net: s.Net})
+		}
+		if hi := s.Hi + ext + 1; hi <= limit-1 {
+			cuts = append(cuts, Cut{Layer: s.Layer, Track: s.Track, Pos: hi, Net: s.Net})
+		}
+	}
+	sort.Slice(cuts, func(a, b int) bool {
+		ca, cb := cuts[a], cuts[b]
+		if ca.Layer != cb.Layer {
+			return ca.Layer < cb.Layer
+		}
+		if ca.Pos != cb.Pos {
+			return ca.Pos < cb.Pos
+		}
+		if ca.Track != cb.Track {
+			return ca.Track < cb.Track
+		}
+		return ca.Net < cb.Net
+	})
+	return cuts
+}
+
+// MergeCuts greedily merges cuts on consecutive tracks whose positions
+// match within mergeTol into single shapes. Cuts must arrive in
+// ExtractCuts order.
+func MergeCuts(cuts []Cut, mergeTol int) []CutShape {
+	var shapes []CutShape
+	i := 0
+	for i < len(cuts) {
+		j := i
+		for j < len(cuts) &&
+			cuts[j].Layer == cuts[i].Layer &&
+			cuts[j].Pos-cuts[i].Pos <= mergeTol {
+			j++
+		}
+		group := append([]Cut(nil), cuts[i:j]...)
+		// Dedupe identical track entries (several strips can demand the
+		// same cut), then merge runs of consecutive tracks.
+		sort.Slice(group, func(a, b int) bool { return group[a].Track < group[b].Track })
+		var uniq []Cut
+		for _, c := range group {
+			if len(uniq) == 0 || c.Track != uniq[len(uniq)-1].Track {
+				uniq = append(uniq, c)
+			}
+		}
+		group = uniq
+		k := 0
+		for k < len(group) {
+			m := k
+			for m+1 < len(group) && group[m+1].Track <= group[m].Track+1 {
+				m++
+			}
+			shapes = append(shapes, CutShape{
+				Layer:   group[k].Layer,
+				Pos:     group[k].Pos,
+				TrackLo: group[k].Track,
+				TrackHi: group[m].Track,
+				Cuts:    m - k + 1,
+			})
+			k = m + 1
+		}
+		i = j
+	}
+	return shapes
+}
+
+// CountCutConflicts counts shape pairs on overlapping or adjacent track
+// ranges whose positions are closer than cutSpacing.
+func CountCutConflicts(shapes []CutShape, cutSpacing int) int {
+	conflicts := 0
+	for a := 0; a < len(shapes); a++ {
+		for b := a + 1; b < len(shapes); b++ {
+			sa, sb := shapes[a], shapes[b]
+			if sa.Layer != sb.Layer {
+				continue
+			}
+			dist := sb.Pos - sa.Pos
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist == 0 || dist >= cutSpacing {
+				continue
+			}
+			if sb.TrackLo <= sa.TrackHi+1 && sa.TrackLo <= sb.TrackHi+1 {
+				conflicts++
+			}
+		}
+	}
+	return conflicts
+}

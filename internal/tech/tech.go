@@ -81,6 +81,11 @@ type Technology struct {
 	// two line-ends on the same track (cut mask spacing rule).
 	LineEndSpacing int
 
+	// Patterning selects and tunes the multi-patterning rule engine
+	// that interprets the line-end fields above (see RuleEngine). The
+	// zero value is the SADP engine with default parameters.
+	Patterning Patterning
+
 	// LRIterationBound is the Lagrangian relaxation iteration upper
 	// bound UB (paper: 200).
 	LRIterationBound int
@@ -134,6 +139,9 @@ func (t *Technology) Validate() error {
 	}
 	if t.LineEndSpacing < 0 {
 		return fmt.Errorf("tech: LineEndSpacing must be non-negative, got %d", t.LineEndSpacing)
+	}
+	if err := t.Patterning.Validate(); err != nil {
+		return err
 	}
 	if t.LRIterationBound <= 0 {
 		return fmt.Errorf("tech: LRIterationBound must be positive, got %d", t.LRIterationBound)

@@ -39,8 +39,10 @@ func (r *Report) addf(format string, args ...interface{}) {
 //  3. no metal node is used by two different routed nets, no metal node
 //     lies on a design blockage, and M1 is entered only over own pins;
 //  4. after line-end extension, strips of different nets on the same
-//     track respect the line-end spacing rule and the minimum line
-//     length (reported as rule errors).
+//     track respect the technology rule engine's tip spacing rules and
+//     the minimum line length, and — for multi-mask engines — the
+//     routed segments admit a legal mask decomposition (reported as
+//     rule errors).
 func Check(d *design.Design, g *grid.Graph, res *router.Result) *Report {
 	rep := &Report{}
 	nodeUser := make(map[grid.NodeID]int)
@@ -200,16 +202,16 @@ func checkNet(d *design.Design, g *grid.Graph, netID int, nr *router.NetRoute,
 	}
 }
 
-// checkLineEnds re-derives per-track metal strips from all routed nets and
-// validates the SADP line-end rules.
+// checkLineEnds re-derives per-track metal strips from all routed nets
+// and validates the technology rule engine's track-level tip rules. For
+// multi-mask engines it additionally runs the engine's mask legality
+// analysis (decomposition/coloring) over the raw routed segments and
+// reports its errors — e.g. uncolorable segments under TPL.
 func checkLineEnds(d *design.Design, g *grid.Graph, res *router.Result, rep *Report) {
-	t := d.Tech
+	rules := g.Rules()
 	type stripKey struct{ layer, track int }
-	type strip struct {
-		net  int
-		span geom.Interval
-	}
-	byTrack := make(map[stripKey][]strip)
+	byTrack := make(map[stripKey][]tech.Seg)
+	var raw []tech.Seg
 
 	for netID, nr := range res.Routes {
 		if nr == nil || !nr.Routed {
@@ -228,14 +230,18 @@ func checkLineEnds(d *design.Design, g *grid.Graph, res *router.Result, rep *Rep
 		}
 		for _, track := range sortedIntKeys(m2) {
 			for _, span := range cellRuns(m2[track]) {
+				raw = append(raw, tech.Seg{Net: netID, Layer: tech.M2, Track: track, Lo: span.Lo, Hi: span.Hi})
+				lo, hi := rules.ExtendSpan(span.Lo, span.Hi, d.Width)
 				byTrack[stripKey{tech.M2, track}] = append(byTrack[stripKey{tech.M2, track}],
-					strip{netID, extended(span, t, d.Width)})
+					tech.Seg{Net: netID, Layer: tech.M2, Track: track, Lo: lo, Hi: hi})
 			}
 		}
 		for _, track := range sortedIntKeys(m3) {
 			for _, span := range cellRuns(m3[track]) {
+				raw = append(raw, tech.Seg{Net: netID, Layer: tech.M3, Track: track, Lo: span.Lo, Hi: span.Hi})
+				lo, hi := rules.ExtendSpan(span.Lo, span.Hi, d.Height)
 				byTrack[stripKey{tech.M3, track}] = append(byTrack[stripKey{tech.M3, track}],
-					strip{netID, extended(span, t, d.Height)})
+					tech.Seg{Net: netID, Layer: tech.M3, Track: track, Lo: lo, Hi: hi})
 			}
 		}
 	}
@@ -252,56 +258,22 @@ func checkLineEnds(d *design.Design, g *grid.Graph, res *router.Result, rep *Rep
 		}
 		return keys[i].track < keys[j].track
 	})
+	netName := func(net int) string { return d.Nets[net].Name }
 	for _, key := range keys {
 		strips := byTrack[key]
 		sort.Slice(strips, func(a, b int) bool {
-			if strips[a].span.Lo != strips[b].span.Lo {
-				return strips[a].span.Lo < strips[b].span.Lo
+			if strips[a].Lo != strips[b].Lo {
+				return strips[a].Lo < strips[b].Lo
 			}
-			return strips[a].net < strips[b].net
+			return strips[a].Net < strips[b].Net
 		})
-		for i := 1; i < len(strips); i++ {
-			a, b := strips[i-1], strips[i]
-			if a.net == b.net {
-				continue
-			}
-			gap := b.span.Lo - a.span.Hi - 1
-			if gap < t.LineEndSpacing {
-				rep.addf("line-end spacing violation on layer %d track %d between nets %s and %s (gap %d < %d)",
-					key.layer, key.track, d.Nets[a.net].Name, d.Nets[b.net].Name,
-					gap, t.LineEndSpacing)
-			}
-		}
-		for _, s := range strips {
-			if s.span.Len() < t.MinLineLen {
-				rep.addf("minimum line length violation on layer %d track %d net %s (len %d < %d)",
-					key.layer, key.track, d.Nets[s.net].Name, s.span.Len(), t.MinLineLen)
-			}
-		}
+		rules.CheckTrack(key.layer, key.track, strips, netName, rep.addf)
 	}
-}
 
-// extended applies line-end extension and minimum-length growth (matching
-// the router's extension policy) for rule checking.
-func extended(span geom.Interval, t *tech.Technology, limit int) geom.Interval {
-	span.Lo -= t.LineEndExtension
-	span.Hi += t.LineEndExtension
-	for span.Len() < t.MinLineLen {
-		if span.Hi < limit-1 {
-			span.Hi++
-		} else if span.Lo > 0 {
-			span.Lo--
-		} else {
-			break
-		}
+	if rules.Colors() > 1 {
+		mask := rules.AnalyzeMask(raw, d.Width, d.Height)
+		rep.Errors = append(rep.Errors, mask.Errors...)
 	}
-	if span.Lo < 0 {
-		span.Lo = 0
-	}
-	if span.Hi > limit-1 {
-		span.Hi = limit - 1
-	}
-	return span
 }
 
 func cellRuns(cells []int) []geom.Interval {

@@ -1,0 +1,99 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cpr/internal/httpapi"
+)
+
+// JobEvent is one event from a job's live stream.
+type JobEvent = httpapi.JobEvent
+
+// ErrStopStream, returned from a StreamEvents callback, ends the stream
+// cleanly: StreamEvents returns nil.
+var ErrStopStream = errors.New("cprd client: stop stream")
+
+// StreamEvents subscribes to GET /v1/jobs/{id}/events and invokes fn for
+// every event, in order, until the stream ends (the daemon closes it
+// after the job's terminal event), ctx fires, or fn returns an error
+// (ErrStopStream ends cleanly). afterSeq resumes after a previously seen
+// sequence number — pass the Seq of the last event received before a
+// disconnect and the daemon replays everything newer that its flight
+// recorder still holds.
+//
+// Heartbeat comments and the synthetic stream_end frame are consumed
+// internally; fn sees only real events.
+func (c *Client) StreamEvents(ctx context.Context, id string, afterSeq uint64, fn func(JobEvent) error) error {
+	path := c.baseURL + "/v1/jobs/" + id + "/events"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return fmt.Errorf("cprd client: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if afterSeq > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(afterSeq, 10))
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("cprd client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var apiErr httpapi.Error
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return &StatusError{Code: resp.StatusCode, Message: apiErr.Error}
+		}
+		return &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+
+	// Minimal SSE parser: accumulate field lines, dispatch on the blank
+	// line, skip ":" comments (heartbeats). Only the data field carries
+	// payload — the id and event fields are redundant with it.
+	var event, data string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data != "" && event != "stream_end" {
+				var ev JobEvent
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					return fmt.Errorf("cprd client: decoding event: %w", err)
+				}
+				if err := fn(ev); err != nil {
+					if errors.Is(err, ErrStopStream) {
+						return nil
+					}
+					return err
+				}
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("cprd client: reading stream: %w", err)
+	}
+	return nil
+}
+
+// DebugEvents fetches the daemon's flight-recorder dump
+// (GET /v1/debug/events) as raw JSON bytes.
+func (c *Client) DebugEvents(ctx context.Context) ([]byte, error) {
+	return c.raw(ctx, "/v1/debug/events")
+}

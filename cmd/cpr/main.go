@@ -43,6 +43,7 @@ func main() {
 		ruleEngine = cliutil.RuleEngine()
 		ilpTimeout = cliutil.ILPTimeout(30 * time.Second)
 		verbose    = flag.Bool("v", false, "print pin optimization and stage details")
+		progress   = flag.Bool("progress", false, "stream LR-iteration and negotiation-round progress to stderr while routing")
 		baseline   = cliutil.Baseline()
 		rerunMode  = cliutil.RerunMode()
 		loadPath   = flag.String("load", "", "load the design from a cpr-design file instead of generating")
@@ -57,6 +58,10 @@ func main() {
 	ctx, flushTrace, err := cliutil.StartTrace(context.Background(), *tracePath, *traceFmt)
 	if err != nil {
 		fatal(err)
+	}
+	stopProgress := func() {}
+	if *progress {
+		ctx, stopProgress = startProgress(ctx)
 	}
 
 	var d *design.Design
@@ -109,6 +114,7 @@ func main() {
 	} else {
 		res, err = core.RunContext(ctx, d, opts)
 	}
+	stopProgress()
 	if err != nil {
 		fatal(err)
 	}

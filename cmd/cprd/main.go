@@ -68,6 +68,9 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 		debugAddr    = flag.String("debug-addr", "", "private listen address for net/http/pprof (empty = disabled)")
 		traceJobs    = flag.Bool("trace-jobs", true, "record a span trace per executed job (GET /v1/jobs/{id}/trace)")
+		eventRing    = flag.Int("event-ring", telemetry.DefaultEventRing, "flight-recorder ring size: recent structured events served on GET /v1/debug/events and streamed on GET /v1/jobs/{id}/events (0 = disabled)")
+		crashDump    = flag.String("crash-dump", "cprd-crash-events.json", "file the flight recorder is flushed to when a job panics (empty = disabled)")
+		nodeName     = flag.String("node-name", "", "name identifying this daemon in cross-node traces and events (default: the listen address)")
 		peersFlag    = flag.String("peers", "", "comma-separated peer daemon base URLs to resolve cache misses from (e.g. http://node-a:8080,http://node-b:8080)")
 		storeDir     = flag.String("blockstore-dir", "", "directory for the persistent artifact blockstore (empty = in-memory)")
 		storeMax     = flag.Int64("blockstore-max-bytes", 256<<20, "blockstore size bound before LRU garbage collection (0 = unbounded)")
@@ -108,16 +111,26 @@ func main() {
 	peers := splitPeers(*peersFlag)
 	var fetcher exchange.Fetcher
 	if len(peers) > 0 {
-		fetcher = exchange.NewHTTPFetcher(peers, exchange.HTTPOptions{Timeout: *peerTimeout})
+		fetcher = exchange.NewHTTPFetcher(peers, exchange.HTTPOptions{Timeout: *peerTimeout, Registry: registry})
 	}
 	exch := exchange.New(store, fetcher, registry)
 	resultCache := jobs.NewExchangedResultCache(*cacheCap, *panelCap, *routeCap, exch)
+
+	// The event bus is the flight recorder and the SSE stream source. It
+	// is on by default and independent of -trace-jobs: post-mortems via
+	// GET /v1/debug/events must not depend on tracing having been enabled.
+	var events *telemetry.EventBus
+	if *eventRing > 0 {
+		events = telemetry.NewEventBus(*eventRing)
+	}
 	mgr := jobs.New(jobs.Config{
 		MaxConcurrent: *maxJobs,
 		QueueCap:      *queueCap,
 		JobTimeout:    *jobTimeout,
 		Metrics:       registry,
 		TraceJobs:     *traceJobs,
+		Events:        events,
+		CrashDump:     *crashDump,
 		Run: func(ctx context.Context, d *design.Design, opts core.Options) (*core.RunResult, error) {
 			if opts.Workers == 0 {
 				opts.Workers = *workers
@@ -134,6 +147,12 @@ func main() {
 
 	apiSrv := server.New(mgr)
 	apiSrv.SetExchange(exch, peers)
+	apiSrv.SetEvents(events)
+	if *nodeName != "" {
+		apiSrv.SetNode(*nodeName)
+	} else {
+		apiSrv.SetNode(*addr)
+	}
 	if defaultEngine != "" {
 		apiSrv.SetDefaultRuleEngine(defaultEngine)
 	}

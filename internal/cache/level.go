@@ -75,6 +75,14 @@ func NewBacked[V any](capacity int, src BlockSource, enc func(V) ([]byte, error)
 // key mismatch — is treated as a miss: the caller recomputes, which is
 // always correct.
 func (b *Backed[V]) Get(key string) (V, bool) {
+	return b.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get with a caller context, so a lookup that falls through to
+// the block source carries the job's trace and event plumbing (peer
+// fetch spans, block_fetch events) and honors cancellation. The plain
+// Get remains for interface compatibility.
+func (b *Backed[V]) GetCtx(ctx context.Context, key string) (V, bool) {
 	if v, ok := b.mem.Get(key); ok {
 		return v, true
 	}
@@ -82,7 +90,7 @@ func (b *Backed[V]) Get(key string) (V, bool) {
 	if key == "" {
 		return zero, false
 	}
-	data, err := b.src.GetBlock(context.Background(), key)
+	data, err := b.src.GetBlock(ctx, key)
 	if err != nil {
 		return zero, false
 	}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"context"
+
+	"cpr/internal/pipeline"
+)
+
+// The cache interfaces (PanelCache, RouteCache) are context-free so the
+// in-memory levels stay trivial, but the block-backed levels can fall
+// through to the peer exchange, whose fetches carry the job's trace and
+// event plumbing in the context. These helpers hand the context to
+// implementations that accept one (cache.Backed's GetCtx) and fall back
+// to the plain Get otherwise, so a peer-served panel shows up in the
+// requesting job's stitched trace.
+
+// panelCacheGet consults a panel cache with the caller's context when
+// the implementation supports it.
+func panelCacheGet(ctx context.Context, c PanelCache, key string) (*pipeline.PanelArtifact, bool) {
+	if cc, ok := c.(interface {
+		GetCtx(context.Context, string) (*pipeline.PanelArtifact, bool)
+	}); ok {
+		return cc.GetCtx(ctx, key)
+	}
+	return c.Get(key)
+}
+
+// routeCacheGet consults a route cache with the caller's context when
+// the implementation supports it.
+func routeCacheGet(ctx context.Context, c RouteCache, key string) (*pipeline.RouteArtifact, bool) {
+	if cc, ok := c.(interface {
+		GetCtx(context.Context, string) (*pipeline.RouteArtifact, bool)
+	}); ok {
+		return cc.GetCtx(ctx, key)
+	}
+	return c.Get(key)
+}

@@ -586,7 +586,7 @@ func optimizePanels(ctx context.Context, d *design.Design, opts Options, prevArt
 			// daemon's panel-level hit rate); equal keys address identical
 			// artifacts, so the lookup order cannot affect results.
 			if opts.PanelCache != nil {
-				if art, ok := opts.PanelCache.Get(key); ok {
+				if art, ok := panelCacheGet(pctx, opts.PanelCache, key); ok {
 					results[slot] = outcome{art: art, reused: true}
 					sp.SetAttr("reused", true)
 					sp.SetAttr("source", "cache")

@@ -95,6 +95,103 @@ func TestTelemetryObservationalRerun(t *testing.T) {
 	}
 }
 
+// observabilityCtx wires the full observability stack the daemon
+// enables: a tracer whose span boundaries feed an event bus (the flight
+// recorder), a metrics registry, and a job-scoped emitter carrying the
+// solver's LR-iteration and negotiation-round events.
+func observabilityCtx() (context.Context, *telemetry.EventBus) {
+	tr := telemetry.New()
+	bus := telemetry.NewEventBus(0)
+	em := telemetry.NewEmitter(bus, "det-test")
+	tr.SetEmitter(em)
+	ctx := telemetry.WithTracer(context.Background(), tr)
+	ctx = telemetry.WithRegistry(ctx, telemetry.NewRegistry())
+	ctx = telemetry.WithEmitter(ctx, em)
+	return ctx, bus
+}
+
+// TestEventStreamObservationalByteIdentical extends the observational
+// contract to the event layer: a run with event streaming, the flight
+// recorder, and tracing all enabled must be byte-identical to a bare
+// run, at every worker count. The emitter rides the solver's hot loops
+// (LR iterations, negotiation rounds), so any event-induced reordering
+// or allocation that perturbs results shows up here.
+func TestEventStreamObservationalByteIdentical(t *testing.T) {
+	spec := synth.Spec{Name: "events-det", Nets: 120, Width: 120, Height: 50, Seed: 303, BlockageFraction: 0.03}
+	var base []byte
+	for _, workers := range determinismWorkers {
+		for _, observed := range []bool{false, true} {
+			d := mustGenerate(t, spec)
+			ctx := context.Background()
+			var bus *telemetry.EventBus
+			if observed {
+				ctx, bus = observabilityCtx()
+			}
+			res, err := RunContext(ctx, d, Options{Mode: ModeCPR, Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d observed=%v: %v", workers, observed, err)
+			}
+			if observed {
+				var iters, spans int
+				for _, ev := range bus.Snapshot() {
+					switch ev.Type {
+					case "lr_iteration":
+						iters++
+					case "span_end":
+						spans++
+					}
+				}
+				if iters == 0 || spans == 0 {
+					t.Fatalf("workers=%d: recorder saw %d lr_iteration / %d span_end events, want both > 0", workers, iters, spans)
+				}
+			}
+			dump := dumpRunResult(t, d, res)
+			if base == nil {
+				base = dump
+				continue
+			}
+			if !bytes.Equal(dump, base) {
+				t.Errorf("workers=%d observed=%v: outcome differs from workers=%d bare (len %d vs %d)",
+					workers, observed, determinismWorkers[0], len(dump), len(base))
+			}
+		}
+	}
+}
+
+// TestEventStreamObservationalEcoFastRerun pins the same contract on the
+// eco-fast rerun path: with and without the observability stack, an
+// eco-fast rerun from the same base must agree byte for byte.
+func TestEventStreamObservationalEcoFastRerun(t *testing.T) {
+	spec := synth.Spec{Name: "events-eco", Nets: 80, Width: 100, Height: 40, Seed: 606}
+	baseRes, err := Run(mustGenerate(t, spec), Options{Mode: ModeCPR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edit := func() *design.Design {
+		d := mustGenerate(t, spec)
+		d.Blockages = d.Blockages[:len(d.Blockages)/2]
+		return d
+	}
+	rerun := func(observed bool) []byte {
+		t.Helper()
+		d := edit()
+		ctx := context.Background()
+		if observed {
+			ctx, _ = observabilityCtx()
+		}
+		res, err := RerunContext(ctx, baseRes, d, Options{Mode: ModeCPR, RerunMode: RerunEcoFast})
+		if err != nil {
+			t.Fatalf("observed=%v: %v", observed, err)
+		}
+		return dumpRunResult(t, d, res)
+	}
+	bare := rerun(false)
+	observed := rerun(true)
+	if !bytes.Equal(bare, observed) {
+		t.Errorf("observed eco-fast rerun differs from bare one (len %d vs %d)", len(observed), len(bare))
+	}
+}
+
 // TestTraceGoldenZeroedTimes pins the trace layout: two sequential runs
 // of the same design must export byte-identical traces once timestamps
 // are zeroed, in both the Chrome and raw JSON encodings. (Sequential

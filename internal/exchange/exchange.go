@@ -147,8 +147,14 @@ func (s *Service) GetBlock(ctx context.Context, key string) ([]byte, error) {
 	return f.data, f.err
 }
 
-// fetchAndStore runs the actual peer fetch for one deduplicated key.
+// fetchAndStore runs the actual peer fetch for one deduplicated key,
+// under an "exchange:fetch" span with the outcome recorded as a
+// block_fetch event on the job's event stream.
 func (s *Service) fetchAndStore(ctx context.Context, key string) ([]byte, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "exchange:fetch")
+	defer sp.End()
+	sp.SetAttr("key", key)
+	em := telemetry.EmitterFrom(ctx)
 	data, err := s.fetcher.Fetch(ctx, key)
 	if err != nil {
 		if err != blockstore.ErrNotFound {
@@ -157,6 +163,8 @@ func (s *Service) fetchAndStore(ctx context.Context, key string) ([]byte, error)
 			s.mu.Unlock()
 		}
 		s.count(&s.stats.Miss, s.ctrMiss)
+		sp.SetAttr("source", "miss")
+		em.Emit("block_fetch", map[string]any{"key": key, "source": "miss"})
 		return nil, ErrNotFound
 	}
 	// Write through so this node serves the block from now on. A failing
@@ -164,7 +172,19 @@ func (s *Service) fetchAndStore(ctx context.Context, key string) ([]byte, error)
 	// still returned to the caller.
 	_ = s.store.Put(key, data)
 	s.count(&s.stats.Peer, s.ctrPeer)
+	sp.SetAttr("source", "peer")
+	em.Emit("block_fetch", map[string]any{"key": key, "source": "peer"})
 	return data, nil
+}
+
+// PeerHealth reports per-peer fetch health when the configured fetcher
+// tracks it (the HTTP fetcher does); nil otherwise.
+func (s *Service) PeerHealth() []PeerHealth {
+	h, ok := s.fetcher.(interface{ Health() []PeerHealth })
+	if !ok {
+		return nil
+	}
+	return h.Health()
 }
 
 // count bumps one stats field and its telemetry counter.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cpr/internal/blockstore"
+	"cpr/internal/telemetry"
 )
 
 // Default tuning for the HTTP fetcher. Fetches sit on the job hot path
@@ -32,13 +33,33 @@ type HTTPOptions struct {
 	BackoffMax  time.Duration
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
+	// Registry, when set, records per-peer fetch latency
+	// (cpr_peer_fetch_seconds{peer}) and transport errors
+	// (cpr_peer_errors_total{peer}).
+	Registry *telemetry.Registry
 }
 
-// peerState tracks one peer's health for backoff.
+// peerState tracks one peer's health for backoff and observability.
 type peerState struct {
 	base     string // normalized base URL, no trailing slash
 	failures int
 	until    time.Time // in backoff until this instant
+	fetches  int64     // total attempts against this peer
+	errors   int64     // transport-level failures
+	lastErr  string
+
+	hist   *telemetry.Histogram // per-peer latency, nil without a registry
+	errCtr *telemetry.Counter   // per-peer transport errors
+}
+
+// PeerHealth is one peer's observable state, surfaced in /v1/stats.
+type PeerHealth struct {
+	Peer                string `json:"peer"`
+	Fetches             int64  `json:"fetches"`
+	Errors              int64  `json:"errors"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	InBackoff           bool   `json:"in_backoff"`
+	LastError           string `json:"last_error,omitempty"`
 }
 
 // HTTPFetcher resolves blocks from a static list of peer daemons over
@@ -46,6 +67,12 @@ type peerState struct {
 // peer that fails at the transport level (refused, timeout, 5xx) is
 // skipped for an exponentially growing window so one dead peer cannot
 // slow every cold lookup.
+//
+// Each attempt opens a "peer_fetch" span under the caller's current
+// span and sends the span's propagation context in the TraceHeader; a
+// successful response's SpanHeader is adopted as a remote child span,
+// stitching the serving node's work into the requester's trace
+// (DESIGN.md §4j).
 type HTTPFetcher struct {
 	client  *http.Client
 	timeout time.Duration
@@ -88,7 +115,16 @@ func NewHTTPFetcher(peers []string, opts HTTPOptions) *HTTPFetcher {
 		if !strings.Contains(p, "://") {
 			p = "http://" + p
 		}
-		f.peers = append(f.peers, &peerState{base: strings.TrimRight(p, "/")})
+		base := strings.TrimRight(p, "/")
+		f.peers = append(f.peers, &peerState{
+			base: base,
+			hist: opts.Registry.Histogram("cpr_peer_fetch_seconds",
+				"Block fetch latency per peer.", telemetry.DefSecondsBuckets,
+				telemetry.L("peer", base)),
+			errCtr: opts.Registry.Counter("cpr_peer_errors_total",
+				"Transport-level block fetch failures per peer.",
+				telemetry.L("peer", base)),
+		})
 	}
 	return f
 }
@@ -98,6 +134,25 @@ func (f *HTTPFetcher) Peers() []string {
 	out := make([]string, len(f.peers))
 	for i, p := range f.peers {
 		out[i] = p.base
+	}
+	return out
+}
+
+// Health snapshots every peer's fetch/error counters and backoff state.
+func (f *HTTPFetcher) Health() []PeerHealth {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]PeerHealth, 0, len(f.peers))
+	now := f.now()
+	for _, p := range f.peers {
+		out = append(out, PeerHealth{
+			Peer:                p.base,
+			Fetches:             p.fetches,
+			Errors:              p.errors,
+			ConsecutiveFailures: p.failures,
+			InBackoff:           p.failures > 0 && now.Before(p.until),
+			LastError:           p.lastErr,
+		})
 	}
 	return out
 }
@@ -113,7 +168,7 @@ func (f *HTTPFetcher) Fetch(ctx context.Context, key string) ([]byte, error) {
 		if f.inBackoff(p) {
 			continue
 		}
-		data, err := f.fetchOne(ctx, p.base, key)
+		data, err := f.fetchOne(ctx, p, key)
 		switch {
 		case err == nil:
 			f.markOK(p)
@@ -123,19 +178,50 @@ func (f *HTTPFetcher) Fetch(ctx context.Context, key string) ([]byte, error) {
 		case ctx.Err() != nil:
 			return nil, ctx.Err()
 		default:
-			f.markFailed(p)
+			f.markFailed(p, err)
 		}
 	}
 	return nil, ErrNotFound
 }
 
-// fetchOne performs one GET against one peer with the per-peer timeout.
-func (f *HTTPFetcher) fetchOne(ctx context.Context, base, key string) ([]byte, error) {
+// fetchOne performs one GET against one peer with the per-peer timeout,
+// recording latency, opening a traced span, and propagating/adopting
+// trace context headers.
+func (f *HTTPFetcher) fetchOne(ctx context.Context, p *peerState, key string) ([]byte, error) {
+	_, sp := telemetry.StartSpan(ctx, "peer_fetch")
+	sp.SetAttr("peer", p.base)
+	sp.SetAttr("key", key)
+	defer sp.End()
+
+	f.mu.Lock()
+	p.fetches++
+	f.mu.Unlock()
+
+	t0 := time.Now()
+	data, err := f.doFetch(ctx, p.base, key, sp)
+	p.hist.Observe(time.Since(t0).Seconds())
+	switch {
+	case err == nil:
+		sp.SetAttr("outcome", "hit")
+	case err == blockstore.ErrNotFound:
+		sp.SetAttr("outcome", "not_found")
+	default:
+		sp.SetAttr("outcome", "error")
+		sp.SetAttr("error", err.Error())
+	}
+	return data, err
+}
+
+// doFetch is the raw single-peer HTTP exchange.
+func (f *HTTPFetcher) doFetch(ctx context.Context, base, key string, sp *telemetry.Span) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, f.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+BlockPath+key, nil)
 	if err != nil {
 		return nil, err
+	}
+	if sc := sp.SpanContext(); sc.Valid() {
+		req.Header.Set(telemetry.TraceHeader, sc.String())
 	}
 	resp, err := f.client.Do(req)
 	if err != nil {
@@ -144,6 +230,9 @@ func (f *HTTPFetcher) fetchOne(ctx context.Context, base, key string) ([]byte, e
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
+		if rs, ok := telemetry.DecodeRemoteSpan(resp.Header.Get(telemetry.SpanHeader)); ok {
+			sp.AdoptRemote(rs)
+		}
 		return io.ReadAll(resp.Body)
 	case http.StatusNotFound:
 		return nil, blockstore.ErrNotFound
@@ -164,14 +253,20 @@ func (f *HTTPFetcher) markOK(p *peerState) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	p.failures = 0
+	p.lastErr = ""
 }
 
 // markFailed records a transport failure and extends the peer's penalty
 // window exponentially (base << failures, capped at max).
-func (f *HTTPFetcher) markFailed(p *peerState) {
+func (f *HTTPFetcher) markFailed(p *peerState, err error) {
+	p.errCtr.Inc()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	p.failures++
+	p.errors++
+	if err != nil {
+		p.lastErr = err.Error()
+	}
 	d := f.base << (p.failures - 1)
 	if d > f.max || d <= 0 {
 		d = f.max

@@ -9,6 +9,7 @@ import (
 	"cpr/internal/exchange"
 	"cpr/internal/jobs"
 	"cpr/internal/metrics"
+	"cpr/internal/telemetry"
 )
 
 // SubmitRequest is the body of POST /v1/jobs. Exactly one of Design
@@ -170,6 +171,25 @@ type Stats struct {
 	// Peers lists the configured peer base URLs the exchange fetches
 	// from; empty for a single-node daemon.
 	Peers []string `json:"peers,omitempty"`
+	// PeerHealth reports per-peer fetch counts, transport errors, and
+	// backoff state; absent without peers.
+	PeerHealth []exchange.PeerHealth `json:"peer_health,omitempty"`
+	// QueueWaitHistogram is the admission-to-start latency distribution
+	// (the cprd_job_queue_wait_seconds histogram); absent without a
+	// metrics registry.
+	QueueWaitHistogram *telemetry.HistogramSnapshot `json:"queue_wait_histogram,omitempty"`
+	// EventsDropped counts stream events lost to slow subscribers.
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
+}
+
+// JobEvent is one server-sent event on GET /v1/jobs/{id}/events; it
+// mirrors telemetry.Event so client and server cannot drift.
+type JobEvent struct {
+	Seq          uint64         `json:"seq"`
+	TimeUnixNano int64          `json:"time_unix_nano"`
+	Job          string         `json:"job,omitempty"`
+	Type         string         `json:"type"`
+	Data         map[string]any `json:"data,omitempty"`
 }
 
 // Health is the body of GET /v1/healthz.

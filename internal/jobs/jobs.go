@@ -10,6 +10,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -151,6 +153,17 @@ type Config struct {
 	// GET /v1/jobs/{id}/trace). Cache-served jobs never ran, so they
 	// have no trace.
 	TraceJobs bool
+	// Events, when non-nil, receives every job lifecycle event
+	// (admitted/started/done/failed, cache answers, rejection causes)
+	// plus the pipeline's in-run events (LR iterations, negotiation
+	// rounds, block fetches, span boundaries). The bus doubles as the
+	// flight recorder behind GET /v1/debug/events. Like Metrics and
+	// TraceJobs it is strictly observational.
+	Events *telemetry.EventBus
+	// CrashDump, when non-empty, is the file the flight-recorder ring is
+	// flushed to when a job panics, so post-mortems don't depend on any
+	// tracing flag having been set.
+	CrashDump string
 }
 
 func (c Config) withDefaults() Config {
@@ -263,6 +276,13 @@ func (j *Job) Snapshot() Snapshot {
 	return s
 }
 
+// Done returns a channel closed when the job reaches a terminal state.
+// The job's terminal event is published to the manager's event bus
+// before the channel closes, so a subscriber that drains its channel
+// after Done fires has seen the job_done/job_failed event (unless it
+// was dropped for falling behind).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
 // Wait blocks until the job reaches a terminal state or ctx fires.
 func (j *Job) Wait(ctx context.Context) error {
 	select {
@@ -344,6 +364,13 @@ type Stats struct {
 	RouteCache        cache.Stats           `json:"route_cache"`
 	RouteCacheHitRate float64               `json:"route_cache_hit_rate"`
 	Stages            map[string]StageStats `json:"stage_latency"`
+	// QueueWait is the full admission-to-start latency distribution
+	// (mirrors the cprd_job_queue_wait_seconds histogram on /metrics);
+	// nil without Config.Metrics.
+	QueueWait *telemetry.HistogramSnapshot `json:"queue_wait_histogram,omitempty"`
+	// EventsDropped counts stream events lost to slow subscribers; 0
+	// without Config.Events.
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
 }
 
 // Manager owns the queue, the workers, and the job registry.
@@ -418,6 +445,11 @@ func (m *Manager) registerMetrics(c *ResultCache) {
 		"Submissions refused by the manager.", telemetry.L("reason", "queue_full"))
 	m.mRejectedDrn = reg.Counter("cprd_jobs_rejected_total",
 		"Submissions refused by the manager.", telemetry.L("reason", "draining"))
+	if ev := m.cfg.Events; ev != nil {
+		reg.CounterFunc("cpr_events_dropped_total",
+			"Stream events dropped because a subscriber channel was full.",
+			func() float64 { return float64(ev.Dropped()) })
+	}
 	reg.GaugeFunc("cprd_queue_depth", "Jobs waiting in the FIFO queue.",
 		func() float64 { return float64(len(m.queue)) })
 	reg.GaugeFunc("cprd_running_jobs", "Jobs currently executing.",
@@ -536,6 +568,7 @@ func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID stri
 		m.rejectedDrain++
 		m.mRejectedDrn.Inc()
 		m.mu.Unlock()
+		m.cfg.Events.Publish("", "job_rejected", map[string]any{"cause": "draining"})
 		return nil, ErrDraining
 	}
 	if cacheable {
@@ -553,6 +586,7 @@ func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID stri
 			if m.draining {
 				m.rejectedDrain++
 				m.mRejectedDrn.Inc()
+				m.cfg.Events.Publish("", "job_rejected", map[string]any{"cause": "draining"})
 				return nil, ErrDraining
 			}
 			job := m.newJobLocked(key, d, opts)
@@ -566,6 +600,7 @@ func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID stri
 			close(job.done)
 			m.counts[StateDone]++
 			m.retainLocked(job.ID)
+			m.cfg.Events.Publish(job.ID, "job_cached", map[string]any{"key": key})
 			return job, nil
 		}
 	}
@@ -575,6 +610,7 @@ func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID stri
 	if m.draining {
 		m.rejectedDrain++
 		m.mRejectedDrn.Inc()
+		m.cfg.Events.Publish("", "job_rejected", map[string]any{"cause": "draining"})
 		return nil, ErrDraining
 	}
 	if cacheable {
@@ -587,6 +623,7 @@ func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID stri
 	if len(m.queue) >= m.cfg.QueueCap {
 		m.rejectedFull++
 		m.mRejectedFull.Inc()
+		m.cfg.Events.Publish("", "job_rejected", map[string]any{"cause": "queue_full"})
 		return nil, ErrQueueFull
 	}
 	job := m.newJobLocked(key, d, opts)
@@ -606,8 +643,10 @@ func (m *Manager) SubmitBase(d *design.Design, opts core.Options, baseJobID stri
 		m.counts[StateQueued]--
 		m.rejectedFull++
 		m.mRejectedFull.Inc()
+		m.cfg.Events.Publish("", "job_rejected", map[string]any{"cause": "queue_full"})
 		return nil, ErrQueueFull
 	}
+	m.cfg.Events.Publish(job.ID, "job_admitted", map[string]any{"key": key, "base": baseJobID})
 	return job, nil
 }
 
@@ -713,9 +752,11 @@ func (m *Manager) execute(job *Job) {
 
 	// Thread telemetry into the run context. Strictly observational: the
 	// core pipeline's §4e contract keeps results byte-identical with or
-	// without it, so neither knob reaches any cache key.
+	// without it, so none of the knobs reach any cache key.
+	em := telemetry.NewEmitter(m.cfg.Events, job.ID)
 	if m.cfg.TraceJobs {
 		tr := telemetry.New()
+		tr.SetEmitter(em)
 		job.mu.Lock()
 		job.tracer = tr
 		job.mu.Unlock()
@@ -724,15 +765,9 @@ func (m *Manager) execute(job *Job) {
 	if m.cfg.Metrics != nil {
 		ctx = telemetry.WithRegistry(ctx, m.cfg.Metrics)
 	}
-	var (
-		res *core.RunResult
-		err error
-	)
-	if job.base != nil {
-		res, err = m.cfg.Rerun(ctx, job.base, job.design, opts)
-	} else {
-		res, err = m.cfg.Run(ctx, job.design, opts)
-	}
+	ctx = telemetry.WithEmitter(ctx, em)
+	m.cfg.Events.Publish(job.ID, "job_started", nil)
+	res, err := m.runJob(ctx, job, opts)
 	end := time.Now()
 
 	job.mu.Lock()
@@ -752,13 +787,64 @@ func (m *Manager) execute(job *Job) {
 	m.finish(job, queueWait, end.Sub(start), res, true)
 }
 
+// runJob executes the job's Run/Rerun function, converting a panic into
+// a job failure: the panic is published as a job_panic event (with a
+// truncated stack), the flight recorder is flushed to the configured
+// crash-dump file, and the worker stays alive.
+func (m *Manager) runJob(ctx context.Context, job *Job, opts core.Options) (res *core.RunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			if len(stack) > 8192 {
+				stack = stack[:8192]
+			}
+			m.cfg.Events.Publish(job.ID, "job_panic",
+				map[string]any{"panic": fmt.Sprint(r), "stack": string(stack)})
+			m.dumpCrash()
+			res, err = nil, fmt.Errorf("jobs: job %s panicked: %v", job.ID, r)
+		}
+	}()
+	if job.base != nil {
+		return m.cfg.Rerun(ctx, job.base, job.design, opts)
+	}
+	return m.cfg.Run(ctx, job.design, opts)
+}
+
+// dumpCrash writes the flight-recorder ring to Config.CrashDump. Errors
+// are swallowed: the dump is best-effort post-mortem data and must never
+// mask the original failure.
+func (m *Manager) dumpCrash() {
+	if m.cfg.CrashDump == "" || m.cfg.Events == nil {
+		return
+	}
+	f, err := os.Create(m.cfg.CrashDump)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	_ = m.cfg.Events.WriteJSON(f)
+}
+
+// Events returns the manager's event bus, or nil.
+func (m *Manager) Events() *telemetry.EventBus { return m.cfg.Events }
+
 // finish moves the job out of the live sets and folds its latencies into
 // the aggregates. ran distinguishes jobs that reached a worker from jobs
 // failed by a hard-stopped drain (those were counted failed in execute).
 func (m *Manager) finish(job *Job, queueWait, runTime time.Duration, res *core.RunResult, ran bool) {
 	job.mu.Lock()
 	state := job.state
+	errMsg := job.errMsg
 	job.mu.Unlock()
+
+	// The terminal event goes out before job.done closes, so an SSE
+	// handler woken by Done() that then drains its subscription always
+	// observes it (unless the subscriber fell behind and dropped).
+	if state == StateDone {
+		m.cfg.Events.Publish(job.ID, "job_done", map[string]any{"state": state.String()})
+	} else {
+		m.cfg.Events.Publish(job.ID, "job_failed", map[string]any{"state": state.String(), "error": errMsg})
+	}
 
 	m.mu.Lock()
 	if ran {
@@ -815,6 +901,8 @@ func (m *Manager) Stats() Stats {
 			st.ByState[s.String()] = n
 		}
 	}
+	st.QueueWait = m.mQueueWait.Snapshot()
+	st.EventsDropped = m.cfg.Events.Dropped()
 	if m.cache != nil {
 		st.Cache = m.cache.Design.Stats()
 		st.CacheHitRate = st.Cache.HitRate()

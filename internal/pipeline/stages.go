@@ -181,8 +181,20 @@ func AssignStage(ctx context.Context, m *ConflictModel, cfg SolverConfig, worker
 		lrCfg.Stop = func() bool { return ctx.Err() != nil }
 	}
 	var series []lagrange.IterationStat
-	if sp != nil && lrCfg.Observer == nil {
-		lrCfg.Observer = func(st lagrange.IterationStat) { series = append(series, st) }
+	em := telemetry.EmitterFrom(ctx)
+	if (sp != nil || em != nil) && lrCfg.Observer == nil {
+		lrCfg.Observer = func(st lagrange.IterationStat) {
+			if sp != nil {
+				series = append(series, st)
+			}
+			em.Emit("lr_iteration", map[string]any{
+				"iter":            st.Iteration,
+				"violations":      st.Violations,
+				"best_violations": st.BestViolations,
+				"profit":          st.SelectedProfit,
+				"dual":            st.DualValue,
+			})
+		}
 	}
 	res := lagrange.Solve(model, lrCfg)
 	if err := ctx.Err(); err != nil {

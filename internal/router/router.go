@@ -572,6 +572,7 @@ func (s *shard) run(ctx context.Context) shardOutcome {
 	// are structural (e.g. physically incompatible line-ends) and are
 	// resolved by unrouting in stage 3.
 	reg := telemetry.RegistryFrom(ctx)
+	em := telemetry.EmitterFrom(ctx)
 	negCtx, negSpan := telemetry.StartSpan(ctx, "route:negotiate")
 	negSpan.SetAttr("region", s.region.ID)
 	presFac := s.cfg.PresentCostBase
@@ -629,6 +630,9 @@ func (s *shard) run(ctx context.Context) shardOutcome {
 		}
 		iterSpan.SetAttr("ripups", ripups)
 		iterSpan.End()
+		em.Emit("negotiate_round", map[string]any{
+			"region": s.region.ID, "iter": iter, "overused": over, "ripups": ripups,
+		})
 		reg.Counter("cpr_router_ripups_total", "Nets ripped up and rerouted during negotiation.").Add(float64(ripups))
 		presFac *= s.cfg.PresentCostGrowth
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -12,8 +13,11 @@ import (
 
 	"cpr/client"
 	"cpr/internal/blockstore"
+	"cpr/internal/design"
+	"cpr/internal/designio"
 	"cpr/internal/exchange"
 	"cpr/internal/jobs"
+	"cpr/internal/synth"
 	"cpr/internal/telemetry"
 )
 
@@ -32,17 +36,34 @@ type clusterNode struct {
 // the node when the caller owns it (the restart test reuses a disk
 // store across two node lifetimes).
 func newClusterNode(t *testing.T, store blockstore.Store, peers []string) *clusterNode {
+	return newObservedClusterNode(t, store, peers, "")
+}
+
+// newObservedClusterNode is newClusterNode with the full observability
+// stack cmd/cprd wires when node != "": per-job tracing, an event bus,
+// per-peer fetch metrics, and a node name for cross-node attribution.
+func newObservedClusterNode(t *testing.T, store blockstore.Store, peers []string, node string) *clusterNode {
 	t.Helper()
 	reg := telemetry.NewRegistry()
+	cfg := jobs.Config{MaxConcurrent: 2, Metrics: reg}
+	hopts := exchange.HTTPOptions{Timeout: 5 * time.Second}
+	if node != "" {
+		cfg.TraceJobs = true
+		cfg.Events = telemetry.NewEventBus(0)
+		hopts.Registry = reg
+	}
 	var fetcher exchange.Fetcher
 	if len(peers) > 0 {
-		fetcher = exchange.NewHTTPFetcher(peers, exchange.HTTPOptions{Timeout: 5 * time.Second})
+		fetcher = exchange.NewHTTPFetcher(peers, hopts)
 	}
 	exch := exchange.New(store, fetcher, reg)
-	mgr := jobs.New(jobs.Config{MaxConcurrent: 2, Metrics: reg},
-		jobs.NewExchangedResultCache(64, 256, 256, exch))
+	mgr := jobs.New(cfg, jobs.NewExchangedResultCache(64, 256, 256, exch))
 	srv := New(mgr)
 	srv.SetExchange(exch, peers)
+	if node != "" {
+		srv.SetEvents(cfg.Events)
+		srv.SetNode(node)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	n := &clusterNode{mgr: mgr, exch: exch, client: client.New(ts.URL), url: ts.URL, close: ts.Close}
 	t.Cleanup(ts.Close)
@@ -285,5 +306,145 @@ func TestBlocksEndpointServesLocalOnly(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("GET malformed key = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestClusterStitchedTrace is the cross-node tracing contract: when node
+// B resolves panel blocks from peer A during a traced run, B's trace
+// contains the peer_fetch spans with A's serve_block work adopted as
+// remote child spans, and A's flight recorder attributes the serves to
+// B's trace id — one stitched trace across both nodes.
+func TestClusterStitchedTrace(t *testing.T) {
+	ctx := context.Background()
+	nodeA := newObservedClusterNode(t, blockstore.NewMem(0), nil, "node-a")
+	nodeB := newObservedClusterNode(t, blockstore.NewMem(0), []string{nodeA.url}, "node-b")
+
+	d, err := synth.Generate(synth.Spec{Name: "stitch", Nets: 40, Width: 100, Height: 40, Seed: 9})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	var sb strings.Builder
+	if err := designio.Write(&sb, d); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := nodeA.client.Submit(ctx, client.SubmitRequest{Design: sb.String(), Wait: true}); err != nil {
+		t.Fatalf("node A submit: %v", err)
+	}
+
+	// One moved pin changes the design-level key (so B really runs) while
+	// leaving most panel keys equal to A's — B's panel-cache misses
+	// resolve from A's blocks mid-run, under B's job trace.
+	edited := *d
+	edited.Pins = append([]design.Pin(nil), d.Pins...)
+	edited.Pins[0].Shape.X0++
+	edited.Pins[0].Shape.X1++
+	if err := edited.Validate(); err != nil {
+		t.Fatalf("edit invalid: %v", err)
+	}
+	var eb strings.Builder
+	if err := designio.Write(&eb, &edited); err != nil {
+		t.Fatalf("write edited: %v", err)
+	}
+	job, err := nodeB.client.Submit(ctx, client.SubmitRequest{Design: eb.String(), Wait: true})
+	if err != nil {
+		t.Fatalf("node B submit: %v", err)
+	}
+	if job.State != "done" || job.Cached {
+		t.Fatalf("node B job = %+v, want a real (uncached) run", job)
+	}
+	if nodeB.exch.Stats().Peer == 0 {
+		t.Fatal("node B resolved nothing from its peer; the stitched-trace scenario did not occur")
+	}
+
+	raw, err := nodeB.client.Trace(ctx, job.ID, client.TraceJSON)
+	if err != nil {
+		t.Fatalf("node B trace: %v", err)
+	}
+	var trace struct {
+		TraceID string `json:"trace_id"`
+		Spans   []struct {
+			ID     int    `json:"id"`
+			Parent int    `json:"parent"`
+			Name   string `json:"name"`
+			Attrs  []struct {
+				Key   string `json:"key"`
+				Value any    `json:"value"`
+			} `json:"attrs"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	if trace.TraceID == "" {
+		t.Fatal("node B trace has no trace id")
+	}
+
+	// The peer hop must appear as peer_fetch -> serve_block (remote),
+	// parent-linked, with the serving node's name on the remote span.
+	fetchIDs := map[int]bool{}
+	for _, sp := range trace.Spans {
+		if sp.Name == "peer_fetch" {
+			fetchIDs[sp.ID] = true
+		}
+	}
+	if len(fetchIDs) == 0 {
+		t.Fatal("trace has no peer_fetch spans")
+	}
+	stitched := 0
+	for _, sp := range trace.Spans {
+		if sp.Name != "serve_block" || !fetchIDs[sp.Parent] {
+			continue
+		}
+		var remote, named bool
+		for _, a := range sp.Attrs {
+			remote = remote || (a.Key == "remote" && a.Value == true)
+			named = named || (a.Key == "node" && a.Value == "node-a")
+		}
+		if !remote {
+			t.Fatalf("serve_block span %d not marked remote: %+v", sp.ID, sp.Attrs)
+		}
+		if !named {
+			t.Fatalf("serve_block span %d missing serving node name: %+v", sp.ID, sp.Attrs)
+		}
+		stitched++
+	}
+	if stitched == 0 {
+		t.Fatal("no serve_block span parent-linked under a peer_fetch span")
+	}
+
+	// Node A saw the same trace id: its flight recorder's block_serve
+	// events carry B's propagated span context.
+	resp, err := http.Get(nodeA.url + "/v1/debug/events")
+	if err != nil {
+		t.Fatalf("node A debug events: %v", err)
+	}
+	defer resp.Body.Close()
+	var dump struct {
+		Events []struct {
+			Type string         `json:"type"`
+			Data map[string]any `json:"data"`
+		} `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("decode node A dump: %v", err)
+	}
+	serves, propagated := 0, 0
+	for _, ev := range dump.Events {
+		if ev.Type != "block_serve" {
+			continue
+		}
+		serves++
+		if tid, _ := ev.Data["trace"].(string); tid == trace.TraceID {
+			propagated++
+		}
+		if node, _ := ev.Data["node"].(string); node != "node-a" {
+			t.Fatalf("block_serve event missing node name: %+v", ev.Data)
+		}
+	}
+	if serves == 0 {
+		t.Fatal("node A recorded no block_serve events")
+	}
+	if propagated == 0 {
+		t.Fatalf("none of node A's %d block_serve events carry node B's trace id %s", serves, trace.TraceID)
 	}
 }

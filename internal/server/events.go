@@ -1,0 +1,173 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cpr/internal/jobs"
+	"cpr/internal/telemetry"
+)
+
+// eventSubBuf is the per-subscriber channel depth. A reader that falls
+// more than this many events behind starts losing events (counted on
+// cpr_events_dropped_total) instead of slowing the solver.
+const eventSubBuf = 256
+
+// defaultEventHeartbeat keeps idle SSE connections alive through
+// proxies and lets clients detect dead ones.
+const defaultEventHeartbeat = 15 * time.Second
+
+// isTerminalEvent reports whether the event ends a job's stream.
+func isTerminalEvent(ev telemetry.Event) bool {
+	return ev.Type == "job_done" || ev.Type == "job_failed"
+}
+
+// writeSSE renders one event as an SSE frame. The frame id is the bus
+// sequence number, so a reconnecting client's Last-Event-ID resumes the
+// stream exactly where it broke.
+func writeSSE(w http.ResponseWriter, ev telemetry.Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+}
+
+// writeSSEEnd closes a stream with a synthetic (unsequenced) frame
+// carrying the job's final state.
+func writeSSEEnd(w http.ResponseWriter, job *jobs.Job) {
+	snap := job.Snapshot()
+	fmt.Fprintf(w, "event: stream_end\ndata: {\"state\":%q}\n\n", snap.State.String())
+}
+
+// resumeAfter extracts the resume point: the standard Last-Event-ID
+// header (set by EventSource on reconnect), with an ?after= query
+// fallback for plain HTTP clients.
+func resumeAfter(r *http.Request) uint64 {
+	v := r.Header.Get("Last-Event-ID")
+	if v == "" {
+		v = r.URL.Query().Get("after")
+	}
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// handleJobEvents streams a job's events as server-sent events: ring
+// replay first (honoring Last-Event-ID), then live events until the job
+// reaches a terminal state, the client disconnects, or the server shuts
+// down. Heartbeat comments keep idle connections alive. The subscription
+// is drop-not-block: a stalled reader loses events rather than ever
+// back-pressuring the solver (DESIGN.md §4j).
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if s.events == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no event stream for job %q (event streaming disabled)", id))
+		return
+	}
+	if snap := job.Snapshot(); snap.Cached {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no event stream for job %q (served from cache)", id))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+
+	// Subscribe before writing headers: replay and registration are
+	// atomic on the bus, so no event can fall between them.
+	replay, ch, cancel := s.events.Subscribe(id, resumeAfter(r), eventSubBuf)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	terminal := false
+	for _, ev := range replay {
+		writeSSE(w, ev)
+		terminal = terminal || isTerminalEvent(ev)
+	}
+	flusher.Flush()
+	if terminal {
+		writeSSEEnd(w, job)
+		flusher.Flush()
+		return
+	}
+
+	hb := s.eventHeartbeat
+	if hb <= 0 {
+		hb = defaultEventHeartbeat
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			writeSSE(w, ev)
+			flusher.Flush()
+			if isTerminalEvent(ev) {
+				writeSSEEnd(w, job)
+				flusher.Flush()
+				return
+			}
+		case <-ticker.C:
+			fmt.Fprint(w, ": hb\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-job.Done():
+			// The terminal event is published before done closes, so it is
+			// already buffered (or was dropped): drain without blocking,
+			// then close the stream.
+			for {
+				select {
+				case ev := <-ch:
+					writeSSE(w, ev)
+					if isTerminalEvent(ev) {
+						writeSSEEnd(w, job)
+						flusher.Flush()
+						return
+					}
+				default:
+					writeSSEEnd(w, job)
+					flusher.Flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// handleDebugEvents dumps the flight-recorder ring: the most recent
+// structured events across all jobs, available with no tracing or
+// streaming flags set — the post-mortem view of a wedged daemon.
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	if s.events == nil {
+		writeError(w, http.StatusNotFound, errors.New("event recorder disabled"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.events.WriteJSON(w)
+}

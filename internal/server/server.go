@@ -55,6 +55,14 @@ type Server struct {
 	// like a per-request engine, so two daemons with different defaults
 	// never alias cache entries.
 	defaultRuleEngine string
+	// events backs GET /v1/jobs/{id}/events (SSE) and
+	// GET /v1/debug/events (flight recorder); nil disables both.
+	events *telemetry.EventBus
+	// node names this daemon in block-serve spans and events, so a
+	// stitched cross-node trace identifies which peer did the work.
+	node string
+	// eventHeartbeat overrides the SSE heartbeat cadence (tests).
+	eventHeartbeat time.Duration
 }
 
 // New wires a server to its manager and registers the manager's stats
@@ -85,6 +93,24 @@ func (s *Server) SetDefaultRuleEngine(name string) {
 	s.defaultRuleEngine = name
 }
 
+// SetEvents attaches the event bus — normally the same bus the jobs
+// manager publishes to — enabling GET /v1/jobs/{id}/events and
+// GET /v1/debug/events.
+func (s *Server) SetEvents(bus *telemetry.EventBus) {
+	s.events = bus
+}
+
+// SetNode names this daemon in cross-node spans and events.
+func (s *Server) SetNode(name string) {
+	s.node = name
+}
+
+// SetEventHeartbeat overrides the SSE heartbeat cadence; intended for
+// tests (the default is 15s).
+func (s *Server) SetEventHeartbeat(d time.Duration) {
+	s.eventHeartbeat = d
+}
+
 // The expvar registry is process-global and Publish panics on duplicate
 // names, so the published Func reads whichever manager was wired most
 // recently.
@@ -110,6 +136,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleGetTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/debug/events", s.handleDebugEvents)
 	mux.HandleFunc("GET /v1/blocks/{key}", s.handleGetBlock)
 	mux.HandleFunc("HEAD /v1/blocks/{key}", s.handleGetBlock)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
@@ -244,6 +272,7 @@ func (s *Server) handleGetBlock(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		return
 	}
+	t0 := time.Now()
 	data, err := s.exch.Store().Get(key)
 	switch {
 	case errors.Is(err, blockstore.ErrNotFound):
@@ -253,6 +282,29 @@ func (s *Server) handleGetBlock(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+
+	// Cross-node trace stitching (DESIGN.md §4j): record the requester's
+	// trace identity in our flight recorder and describe the work we did
+	// in the SpanHeader, which the requester adopts as a child of its
+	// peer_fetch span. Headers must be set before the body write.
+	evData := map[string]any{"key": key}
+	if s.node != "" {
+		evData["node"] = s.node
+	}
+	if sc, ok := telemetry.ParseSpanContext(r.Header.Get(telemetry.TraceHeader)); ok {
+		evData["trace"] = sc.TraceID
+		evData["parent_span"] = sc.SpanID
+	}
+	s.events.Publish("", "block_serve", evData)
+	attrs := []telemetry.Attr{{Key: "key", Value: key}}
+	if s.node != "" {
+		attrs = append(attrs, telemetry.Attr{Key: "node", Value: s.node})
+	}
+	w.Header().Set(telemetry.SpanHeader, telemetry.EncodeRemoteSpan(telemetry.RemoteSpan{
+		Name:       "serve_block",
+		DurationNS: time.Since(t0).Nanoseconds(),
+		Attrs:      attrs,
+	}))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(data)
 }
@@ -267,31 +319,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var bsStats *blockstore.Stats
 	var exStats *exchange.Stats
 	var peers []string
+	var peerHealth []exchange.PeerHealth
 	if s.exch != nil {
 		bs := s.exch.Store().Stats()
 		bsStats = &bs
 		ex := s.exch.Stats()
 		exStats = &ex
 		peers = s.peers
+		peerHealth = s.exch.PeerHealth()
 	}
 	writeJSON(w, http.StatusOK, httpapi.Stats{
-		QueueDepth:        st.QueueDepth,
-		QueueCap:          st.QueueCap,
-		Running:           st.Running,
-		Draining:          st.Draining,
-		ByState:           st.ByState,
-		RejectedQueueFull: st.RejectedQueueFull,
-		RejectedDraining:  st.RejectedDraining,
-		Cache:             st.Cache,
-		CacheHitRate:      st.CacheHitRate,
-		PanelCache:        st.PanelCache,
-		PanelCacheHitRate: st.PanelCacheHitRate,
-		RouteCache:        st.RouteCache,
-		RouteCacheHitRate: st.RouteCacheHitRate,
-		Stages:            st.Stages,
-		Blockstore:        bsStats,
-		Exchange:          exStats,
-		Peers:             peers,
+		QueueDepth:         st.QueueDepth,
+		QueueCap:           st.QueueCap,
+		Running:            st.Running,
+		Draining:           st.Draining,
+		ByState:            st.ByState,
+		RejectedQueueFull:  st.RejectedQueueFull,
+		RejectedDraining:   st.RejectedDraining,
+		Cache:              st.Cache,
+		CacheHitRate:       st.CacheHitRate,
+		PanelCache:         st.PanelCache,
+		PanelCacheHitRate:  st.PanelCacheHitRate,
+		RouteCache:         st.RouteCache,
+		RouteCacheHitRate:  st.RouteCacheHitRate,
+		Stages:             st.Stages,
+		Blockstore:         bsStats,
+		Exchange:           exStats,
+		Peers:              peers,
+		PeerHealth:         peerHealth,
+		QueueWaitHistogram: st.QueueWait,
+		EventsDropped:      st.EventsDropped,
 	})
 }
 

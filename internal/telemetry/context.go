@@ -8,6 +8,7 @@ const (
 	tracerKey ctxKey = iota
 	spanKey
 	registryKey
+	emitterKey
 )
 
 // WithTracer returns a context carrying the tracer. Instrumented code
@@ -38,6 +39,22 @@ func WithRegistry(ctx context.Context, r *Registry) context.Context {
 func RegistryFrom(ctx context.Context) *Registry {
 	r, _ := ctx.Value(registryKey).(*Registry)
 	return r
+}
+
+// WithEmitter returns a context carrying the event emitter. Instrumented
+// code retrieves it with EmitterFrom and emits unconditionally — a nil
+// emitter's Emit is a no-op.
+func WithEmitter(ctx context.Context, e *Emitter) context.Context {
+	if e == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, emitterKey, e)
+}
+
+// EmitterFrom returns the context's event emitter, or nil.
+func EmitterFrom(ctx context.Context) *Emitter {
+	e, _ := ctx.Value(emitterKey).(*Emitter)
+	return e
 }
 
 // SpanFrom returns the context's current span, or nil.

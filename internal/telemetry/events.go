@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured observability event: a job lifecycle change, an
+// LR iteration, a negotiation round, a cache/exchange outcome, or a span
+// boundary. Events carry a bus-scoped sequence number so subscribers can
+// resume a stream exactly where a dropped connection left off.
+type Event struct {
+	// Seq is the bus-wide sequence number (1-based, publish order).
+	Seq uint64 `json:"seq"`
+	// TimeUnixNano is the publish wall-clock time.
+	TimeUnixNano int64 `json:"time_unix_nano"`
+	// Job is the job ID the event belongs to, or "" for daemon-level
+	// events (admission rejections before an ID exists, block serves).
+	Job string `json:"job,omitempty"`
+	// Type names the event ("job_started", "lr_iteration",
+	// "negotiate_round", "block_fetch", "span_end", ...).
+	Type string `json:"type"`
+	// Data holds type-specific fields.
+	Data map[string]any `json:"data,omitempty"`
+}
+
+// busSub is one live subscriber: a buffered channel plus the job filter
+// it registered with ("" = all jobs).
+type busSub struct {
+	job string
+	ch  chan Event
+}
+
+// EventBus is a bounded, non-blocking fan-out of Events. It doubles as
+// the flight recorder: every published event lands in a fixed-size ring
+// regardless of subscribers, so `GET /v1/debug/events` and the on-panic
+// crash dump work with no tracing or streaming flags set.
+//
+// The hard contract (DESIGN.md §4j): Publish never blocks. A subscriber
+// whose channel is full loses that event and the bus-wide drop counter
+// increments; the solver is never slowed by a stalled reader.
+type EventBus struct {
+	mu      sync.Mutex
+	ring    []Event // circular buffer of the most recent events
+	start   int     // index of the oldest ring entry
+	count   int     // number of valid ring entries
+	seq     uint64  // last assigned sequence number
+	subs    map[int]*busSub
+	nextID  int
+	dropped uint64
+}
+
+// DefaultEventRing is the flight-recorder ring capacity used when the
+// caller passes a non-positive size.
+const DefaultEventRing = 4096
+
+// NewEventBus creates a bus whose flight-recorder ring holds up to
+// ringCap events (DefaultEventRing if ringCap <= 0).
+func NewEventBus(ringCap int) *EventBus {
+	if ringCap <= 0 {
+		ringCap = DefaultEventRing
+	}
+	return &EventBus{
+		ring: make([]Event, 0, ringCap),
+		subs: map[int]*busSub{},
+	}
+}
+
+// Publish records an event in the ring and fans it out to matching
+// subscribers without ever blocking: a full subscriber channel drops the
+// event and bumps the drop counter. Safe on nil (no-op), so callers need
+// no conditionals when event streaming is disabled.
+func (b *EventBus) Publish(job, typ string, data map[string]any) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.seq++
+	ev := Event{
+		Seq:          b.seq,
+		TimeUnixNano: time.Now().UnixNano(),
+		Job:          job,
+		Type:         typ,
+		Data:         data,
+	}
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, ev)
+		b.count++
+	} else {
+		b.ring[b.start] = ev
+		b.start = (b.start + 1) % len(b.ring)
+	}
+	for _, sub := range b.subs {
+		if sub.job != "" && sub.job != job {
+			continue
+		}
+		select {
+		case sub.ch <- ev:
+		default:
+			b.dropped++
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Subscribe registers a live subscriber for one job ("" = every job) and
+// atomically replays the ring events for that job with Seq > afterSeq, so
+// a reconnecting client (SSE Last-Event-ID) misses nothing that is still
+// in the recorder. buf bounds the live channel; a subscriber that falls
+// more than buf events behind starts losing events (see Publish). cancel
+// unregisters the subscriber and closes ch; it is idempotent.
+func (b *EventBus) Subscribe(job string, afterSeq uint64, buf int) (replay []Event, ch <-chan Event, cancel func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	c := make(chan Event, buf)
+	if b == nil {
+		close(c)
+		return nil, c, func() {}
+	}
+	b.mu.Lock()
+	for i := 0; i < b.count; i++ {
+		ev := b.ring[(b.start+i)%len(b.ring)]
+		if ev.Seq <= afterSeq {
+			continue
+		}
+		if job != "" && ev.Job != job {
+			continue
+		}
+		replay = append(replay, ev)
+	}
+	id := b.nextID
+	b.nextID++
+	sub := &busSub{job: job, ch: c}
+	b.subs[id] = sub
+	b.mu.Unlock()
+
+	cancel = func() {
+		b.mu.Lock()
+		if _, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			// Close under b.mu: every send to c also holds b.mu, so the
+			// close cannot race a send.
+			close(c)
+		}
+		b.mu.Unlock()
+	}
+	return replay, c, cancel
+}
+
+// Snapshot returns the flight-recorder ring contents oldest-first. Safe
+// on nil (returns nil).
+func (b *EventBus) Snapshot() []Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, 0, b.count)
+	for i := 0; i < b.count; i++ {
+		out = append(out, b.ring[(b.start+i)%len(b.ring)])
+	}
+	return out
+}
+
+// Dropped returns the number of events lost to full subscriber channels
+// since the bus was created. Safe on nil (returns 0).
+func (b *EventBus) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// eventDump is the JSON envelope written by WriteJSON: the flight
+// recorder's dump format, shared by `GET /v1/debug/events` and the
+// on-panic crash file.
+type eventDump struct {
+	Format  string  `json:"format"`
+	Dropped uint64  `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// WriteJSON dumps the flight-recorder ring (oldest-first) plus the drop
+// counter as indented JSON. A nil bus writes an empty dump.
+func (b *EventBus) WriteJSON(w io.Writer) error {
+	events := b.Snapshot()
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(eventDump{Format: "cpr-events-v1", Dropped: b.Dropped(), Events: events})
+}
+
+// Emitter binds an EventBus to one job ID so instrumented code can emit
+// events without threading the job identity everywhere. A nil Emitter is
+// fully usable (Emit is a no-op), mirroring the nil-Tracer convention.
+type Emitter struct {
+	bus *EventBus
+	job string
+}
+
+// NewEmitter returns an emitter publishing to bus under the given job
+// ID, or nil when bus is nil.
+func NewEmitter(bus *EventBus, job string) *Emitter {
+	if bus == nil {
+		return nil
+	}
+	return &Emitter{bus: bus, job: job}
+}
+
+// Emit publishes one event. Safe on nil.
+func (e *Emitter) Emit(typ string, data map[string]any) {
+	if e == nil {
+		return
+	}
+	e.bus.Publish(e.job, typ, data)
+}

@@ -16,19 +16,24 @@ type ExportOptions struct {
 
 // jsonTrace is the top-level structure of the tracer's own JSON format.
 type jsonTrace struct {
-	Format string       `json:"format"`
-	Spans  []SpanRecord `json:"spans"`
+	Format  string       `json:"format"`
+	TraceID string       `json:"trace_id,omitempty"`
+	Spans   []SpanRecord `json:"spans"`
 }
 
 // WriteJSON writes the tracer's own JSON format: a flat span list in
 // creation order with parent links, nanosecond offsets from the tracer
-// epoch, and ordered attributes. A nil tracer writes an empty trace.
+// epoch, and ordered attributes. A nil tracer writes an empty trace. The
+// trace id is omitted under ZeroTimes (it is time-derived, so golden
+// tests must not see it).
 func (t *Tracer) WriteJSON(w io.Writer, opts ExportOptions) error {
 	spans := t.Snapshot()
 	if spans == nil {
 		spans = []SpanRecord{}
 	}
+	traceID := t.TraceID()
 	if opts.ZeroTimes {
+		traceID = ""
 		for i := range spans {
 			spans[i].Start = 0
 			spans[i].Duration = 0
@@ -36,7 +41,7 @@ func (t *Tracer) WriteJSON(w io.Writer, opts ExportOptions) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(jsonTrace{Format: "cpr-trace-v1", Spans: spans})
+	return enc.Encode(jsonTrace{Format: "cpr-trace-v1", TraceID: traceID, Spans: spans})
 }
 
 // chromeEvent is one Chrome trace_event entry. We emit only complete
@@ -105,4 +110,3 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, opts ExportOptions) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
 }
-

@@ -159,6 +159,39 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// HistogramSnapshot is a point-in-time, JSON-friendly view of a
+// histogram: cumulative counts per finite bound (the implicit +Inf
+// bucket is excluded — JSON cannot encode it — but Count covers every
+// observation).
+type HistogramSnapshot struct {
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // cumulative, parallel to Bounds
+}
+
+// Snapshot captures the histogram for JSON surfaces like /v1/stats. Safe
+// on nil (returns nil).
+func (h *Histogram) Snapshot() *HistogramSnapshot {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := &HistogramSnapshot{
+		Count:  h.total,
+		Sum:    h.sum,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.bounds)),
+	}
+	cum := uint64(0)
+	for i := range h.bounds {
+		cum += h.counts[i]
+		s.Counts[i] = cum
+	}
+	return s
+}
+
 // instrument is one registered time series (a family member with a fixed
 // label set).
 type instrument struct {

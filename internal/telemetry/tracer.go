@@ -61,15 +61,40 @@ type Span struct {
 // tracer lock), so a fixed workload with a fixed worker count exports a
 // stable span tree.
 type Tracer struct {
-	mu    sync.Mutex
-	epoch time.Time
-	spans []*Span
+	mu      sync.Mutex
+	epoch   time.Time
+	traceID string
+	emitter *Emitter
+	spans   []*Span
 }
 
 // New creates an empty tracer whose epoch (the zero of all exported
-// timestamps) is the moment of creation.
+// timestamps) is the moment of creation, with a process-unique trace id
+// for cross-node propagation.
 func New() *Tracer {
-	return &Tracer{epoch: time.Now()}
+	return &Tracer{epoch: time.Now(), traceID: newTraceID()}
+}
+
+// SetEmitter makes the tracer publish span_start/span_end events for
+// every span to the given emitter (nil disables). Safe on nil.
+func (t *Tracer) SetEmitter(em *Emitter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emitter = em
+	t.mu.Unlock()
+}
+
+// emitterRef returns the tracer's current emitter. Safe on nil.
+func (t *Tracer) emitterRef() *Emitter {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	em := t.emitter
+	t.mu.Unlock()
+	return em
 }
 
 // StartSpan opens a span under parent (nil parent = root). On a nil
@@ -86,7 +111,11 @@ func (t *Tracer) StartSpan(name string, parent *Span) *Span {
 	t.mu.Lock()
 	sp.ID = len(t.spans) + 1
 	t.spans = append(t.spans, sp)
+	em := t.emitter
 	t.mu.Unlock()
+	if em != nil {
+		em.Emit("span_start", map[string]any{"span": sp.ID, "name": name, "parent": sp.ParentID})
+	}
 	return sp
 }
 
@@ -96,12 +125,20 @@ func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
 	}
+	first := false
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.end.IsZero() {
 		s.end = time.Now()
+		first = true
 	}
-	return s.end.Sub(s.start)
+	d := s.end.Sub(s.start)
+	s.mu.Unlock()
+	if first {
+		if em := s.tracer.emitterRef(); em != nil {
+			em.Emit("span_end", map[string]any{"span": s.ID, "name": s.Name, "duration_ns": d.Nanoseconds()})
+		}
+	}
+	return d
 }
 
 // SetAttr appends one attribute. Safe on nil. Keys repeated across calls
